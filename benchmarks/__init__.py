@@ -1,0 +1,1 @@
+"""Benchmark suite package (bench_*.py modules import its conftest)."""

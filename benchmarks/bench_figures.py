@@ -1,0 +1,71 @@
+"""Figure reproduction benchmarks (the paper's Figures 2–5).
+
+The figures are analytical artifacts of the running example; these
+benches regenerate them (writing ``results/figures/``) and time the
+pieces that produce them — constraint-graph construction, the MCRP
+solve, ASAP recording, and schedule extraction.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro import (
+    asap_schedule,
+    build_constraint_graph,
+    min_period_for_k,
+    render_gantt,
+    throughput_kiter,
+)
+from repro.generators.paper import figure2_graph
+from repro.io import constraint_graph_to_dot, graph_to_dot
+from repro.mcrp import max_cycle_ratio
+from repro.scheduling import schedule_to_firings
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return figure2_graph()
+
+
+def test_figure2_graph_dot(benchmark, graph, results_dir):
+    dot = benchmark(lambda: graph_to_dot(graph))
+    (results_dir / "figure2.dot").write_text(dot)
+    assert "A" in dot
+
+
+def test_figure3_asap_gantt(benchmark, graph):
+    records = benchmark(lambda: asap_schedule(graph, iterations=2))
+    gantt = render_gantt(records, width=96)
+    write_artifact("figure3_asap.txt", gantt)
+    assert any(r.task == "D" for r in records)
+
+
+def test_figure5_constraint_graph(benchmark, graph):
+    bi, _ = benchmark(lambda: build_constraint_graph(graph))
+    # 7 phase nodes: A1 A2 B1 B2 B3 C1 D1 — exactly the paper's node set
+    assert bi.node_count == 7
+
+
+def test_figure5_critical_circuit(benchmark, graph, results_dir):
+    bi, _ = build_constraint_graph(graph)
+    result = benchmark(lambda: max_cycle_ratio(bi))
+    assert result.ratio == 18  # the 1-periodic period of the example
+    dot = constraint_graph_to_dot(bi, critical_arcs=set(result.cycle_arcs))
+    (results_dir / "figure5_constraints.dot").write_text(dot)
+
+
+def test_figure4_kperiodic_schedule(benchmark, graph):
+    exact = throughput_kiter(graph)
+
+    def build():
+        return min_period_for_k(graph, exact.K)
+
+    result = benchmark(build)
+    assert result.omega == 13
+    firings = schedule_to_firings(result.schedule, graph,
+                                  horizon_iterations=2)
+    gantt = render_gantt(firings, width=96)
+    write_artifact("figure4_kperiodic.txt", gantt)
+    result.schedule.verify(graph, iterations=3)

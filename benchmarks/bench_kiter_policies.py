@@ -1,0 +1,74 @@
+"""Ablation A2: K-Iter's update policy.
+
+Algorithm 1 raises K conservatively (``K_t ← lcm(K_t, q̄_t)``); the
+obvious alternative jumps the critical circuit straight to ``K_t = q_t``.
+The paper's design bet is that the conservative rule keeps expansions —
+and therefore constraint graphs — much smaller on the way to the
+certificate. The bench measures both policies on the application
+analogues; ``results/ablation_kiter_policies.txt`` records rounds,
+largest constraint graph, and wall time.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BUDGET, write_artifact
+from repro.bench.reporting import format_table
+from repro.generators.csdf_apps import h264_encoder, jpeg2000, pdetect
+from repro.generators.paper import figure2_graph
+from repro.kperiodic import throughput_kiter
+
+INSTANCES = {
+    "figure2": figure2_graph,
+    "jpeg2000": jpeg2000,
+    "pdetect": pdetect,
+    "h264": h264_encoder,
+}
+
+
+@pytest.mark.parametrize("policy", ["lcm", "full-q"])
+@pytest.mark.parametrize("instance", ["figure2", "jpeg2000", "pdetect"])
+def test_policy(benchmark, policy, instance):
+    graph = INSTANCES[instance]()
+    result = benchmark.pedantic(
+        lambda: throughput_kiter(graph, update_policy=policy),
+        rounds=1, iterations=2,
+    )
+    assert result.period is not None
+
+
+def test_policy_comparison_table(benchmark):
+    rows = []
+    for name, maker in INSTANCES.items():
+        graph = maker()
+        cells = [name]
+        baseline = None
+        for policy in ("lcm", "full-q"):
+            start = time.perf_counter()
+            result = throughput_kiter(
+                graph, update_policy=policy, time_budget=BUDGET
+            )
+            elapsed = time.perf_counter() - start
+            peak = max(
+                (r.graph_arcs for r in result.rounds), default=0
+            )
+            cells.append(
+                f"{result.iteration_count}r / {peak} arcs / "
+                f"{elapsed * 1000:.0f}ms"
+            )
+            if baseline is None:
+                baseline = result.period
+            else:
+                assert result.period == baseline, (
+                    f"policies disagree on {name}"
+                )
+        rows.append(cells)
+    table = format_table(
+        ["Instance", "lcm (Algorithm 1)", "full-q jump"],
+        rows,
+        title="Ablation A2 — K-Iter update policy",
+    )
+    write_artifact("ablation_kiter_policies.txt", table)
+    print("\n" + table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Mapping benchmarks: cost of evaluating throughput under mapping.
+
+Grading a mapped design is the inner loop of design-space exploration —
+the motivating use case of the paper's introduction. The bench measures
+the full pipeline (order derivation + graph transformation + K-Iter) per
+processor count, and pins the semantic anchors: 1 CPU = sequential
+bound, ∞ CPUs = dataflow limit.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis import period_bounds
+from repro.bench.reporting import format_table
+from repro.generators.dsp import modem, samplerate_converter
+from repro.generators.paper import figure2_graph
+from repro.kperiodic import throughput_kiter
+from repro.mapping import (
+    Mapping,
+    greedy_load_balance,
+    throughput_under_mapping,
+)
+
+INSTANCES = {
+    "figure2": figure2_graph,
+    "samplerate": samplerate_converter,
+    "modem": modem,
+}
+
+
+@pytest.mark.parametrize("instance", sorted(INSTANCES))
+@pytest.mark.parametrize("processors", [1, 2, 4])
+def test_mapping_evaluation(benchmark, instance, processors):
+    graph = INSTANCES[instance]()
+
+    def evaluate():
+        mapping = greedy_load_balance(graph, processors)
+        result, _ = throughput_under_mapping(graph, mapping)
+        return result
+
+    result = benchmark(evaluate)
+    assert result.period >= throughput_kiter(graph).period
+
+
+def test_mapping_anchors(benchmark):
+    rows = []
+    for name, maker in INSTANCES.items():
+        graph = maker()
+        limit = throughput_kiter(graph).period
+        sequential = period_bounds(graph).upper
+        one_cpu, _ = throughput_under_mapping(
+            graph, greedy_load_balance(graph, 1)
+        )
+        parallel, _ = throughput_under_mapping(
+            graph, Mapping.fully_parallel(graph)
+        )
+        assert one_cpu.period == sequential
+        assert parallel.period == limit
+        rows.append(
+            [name, str(sequential), str(one_cpu.period),
+             str(limit), str(parallel.period)]
+        )
+    table = format_table(
+        ["Instance", "seq bound", "1 CPU", "dataflow limit", "∞ CPUs"],
+        rows,
+        title="Mapping anchors — 1 CPU = sequential, ∞ CPUs = limit",
+    )
+    write_artifact("mapping_anchors.txt", table)
+    print("\n" + table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

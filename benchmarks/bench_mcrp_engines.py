@@ -1,0 +1,69 @@
+"""Ablation A1: the MCRP engine choice.
+
+Compares the three exact maximum-cycle-ratio engines on the 1-periodic
+constraint graphs of Table-1-style instances, plus Karp on HSDF-expanded
+graphs. Expected outcome (recorded in EXPERIMENTS.md): ratio iteration
+with the utilization warm start wins; Howard's float phase only pays off
+on graphs where the warm start is far from λ*; Lawler's bisection is a
+constant factor slower (it cannot jump).
+"""
+
+import pytest
+
+from repro.analysis import build_constraint_graph, repetition_vector
+from repro.baselines.expansion import expand_sdf_to_hsdf
+from repro.generators.dsp import samplerate_converter, satellite_receiver
+from repro.generators.random_sdf import large_hsdf, mimic_dsp
+from repro.mcrp import (
+    max_cycle_mean,
+    max_cycle_ratio,
+    max_cycle_ratio_howard,
+    max_cycle_ratio_lawler,
+)
+
+INSTANCES = {
+    "samplerate": samplerate_converter,
+    "satellite": satellite_receiver,
+    "mimicdsp3": lambda: mimic_dsp(3),
+    "lghsdf2": lambda: large_hsdf(2),
+}
+
+ENGINES = {
+    "ratio-iteration": max_cycle_ratio,
+    "howard": max_cycle_ratio_howard,
+    "lawler": max_cycle_ratio_lawler,
+}
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("instance", sorted(INSTANCES))
+def test_engine_on_constraint_graph(benchmark, engine, instance):
+    graph = INSTANCES[instance]()
+    bi, _ = build_constraint_graph(graph)
+    result = benchmark(lambda: ENGINES[engine](bi))
+    assert result.ratio is not None and result.ratio > 0
+
+
+@pytest.mark.parametrize("instance", ["samplerate", "mimicdsp3"])
+def test_engines_agree(benchmark, instance):
+    graph = INSTANCES[instance]()
+    bi, _ = build_constraint_graph(graph)
+    ratios = {name: engine(bi).ratio for name, engine in ENGINES.items()}
+    assert len(set(ratios.values())) == 1, ratios
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_karp_on_hsdf_expansion(benchmark):
+    graph = mimic_dsp(7)  # moderate Σq keeps Karp's Θ(nm) table small
+    hsdf, _ = expand_sdf_to_hsdf(graph, reduced=True)
+    # Karp needs unit transits: measure it on the serialization ring of
+    # the expansion restricted to delay-1 arcs... simpler: on a unit-H
+    # version of the same topology.
+    from repro.mcrp.graph import BiValuedGraph
+
+    unit = BiValuedGraph(hsdf.node_count, labels=hsdf.labels)
+    for src, dst, cost, transit in hsdf.arcs():
+        unit.add_arc(src, dst, cost, 1)
+    result = benchmark(lambda: max_cycle_mean(unit))
+    reference = max_cycle_ratio(unit)
+    assert result.ratio == reference.ratio

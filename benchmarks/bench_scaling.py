@@ -1,0 +1,93 @@
+"""Scaling ablation: how each method's cost grows with Σq.
+
+The paper's central claim is asymptotic: symbolic execution and
+expansion methods pay for the repetition vector (state count / node
+count grows with Σq) while K-Iter pays only for the K its optimality
+certificate needs. This bench sweeps the Σq knob of a fixed topology
+(rate-scaled BlackScholes batches and a two-task multirate cycle) and
+records the per-method wall time — the closest thing to a "figure" the
+paper's evaluation implies but does not plot.
+
+Writes ``results/ablation_scaling.txt``.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BUDGET, write_artifact
+from repro.analysis import repetition_vector_sum
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_method
+from repro.generators.csdf_apps import blackscholes
+from repro.model import sdf
+
+METHODS = ("periodic", "kiter", "symbolic")
+
+
+def multirate_cycle(rate: int):
+    """Two-task cycle with coprime-ish rates: Σq grows linearly."""
+    return sdf(
+        {"A": 3, "B": 2},
+        [
+            ("A", "B", rate, rate + 1, 0),
+            ("B", "A", rate + 1, rate, 2 * (rate + 1) * rate),
+        ],
+        name=f"cycle_r{rate}",
+    )
+
+
+@pytest.mark.parametrize("rate", [3, 9, 27])
+def test_cycle_scaling_kiter(benchmark, rate):
+    graph = multirate_cycle(rate)
+    outcome = benchmark(lambda: run_method("kiter", graph, BUDGET))
+    assert outcome.ok
+
+
+@pytest.mark.parametrize("rate", [3, 9, 27])
+def test_cycle_scaling_symbolic(benchmark, rate):
+    graph = multirate_cycle(rate)
+    outcome = benchmark(
+        lambda: run_method("symbolic", graph, BUDGET)
+    )
+    assert outcome.status in ("OK", "TIMEOUT")
+
+
+def test_scaling_table(benchmark):
+    rows = []
+    for rate in (3, 9, 27, 81, 243):
+        graph = multirate_cycle(rate)
+        cells = [f"cycle r={rate}", str(repetition_vector_sum(graph))]
+        exact = None
+        for method in METHODS:
+            outcome = run_method(method, graph, BUDGET)
+            if method == "kiter" and outcome.ok:
+                exact = outcome.period
+            cells.append(
+                outcome.time_text()
+                if outcome.status in ("OK", "TIMEOUT")
+                else outcome.status
+            )
+            if method == "symbolic" and outcome.ok and exact is not None:
+                assert outcome.period == exact
+        rows.append(cells)
+    for scale in (1, 4, 16):
+        graph = blackscholes(scale)
+        cells = [f"blackscholes s={scale}",
+                 str(repetition_vector_sum(graph))]
+        for method in METHODS:
+            outcome = run_method(method, graph, BUDGET)
+            cells.append(
+                outcome.time_text()
+                if outcome.status in ("OK", "TIMEOUT")
+                else outcome.status
+            )
+        rows.append(cells)
+    table = format_table(
+        ["Instance", "Σq", "periodic", "K-Iter", "symbolic"],
+        rows,
+        title="Scaling ablation — wall time vs Σq",
+    )
+    write_artifact("ablation_scaling.txt", table)
+    print("\n" + table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

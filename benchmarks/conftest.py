@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark suite.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_BUDGET``  — per-method wall-clock budget in seconds
+  (default 45 — enough for the hardest cell, the tightly-bounded H264
+  analogue; the paper's ``> 1d`` rows appear as ``> budget``);
+* ``REPRO_BENCH_COUNT``   — graphs per random Table 1 category
+  (default 10; the paper used 100);
+* ``REPRO_BENCH_SCALE``   — Σq scale knob for the Table 2 generators
+  (default 1).
+
+Table artifacts are written to ``results/`` at the repo root.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+BUDGET = float(os.environ.get("REPRO_BENCH_BUDGET", "75"))
+COUNT = int(os.environ.get("REPRO_BENCH_COUNT", "10"))
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_artifact(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path

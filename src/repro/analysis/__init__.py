@@ -1,0 +1,55 @@
+"""Static analyses of CSDF graphs.
+
+* :mod:`repro.analysis.consistency` — repetition vector (exact rationals).
+* :mod:`repro.analysis.structure` — SCCs and connectivity.
+* :mod:`repro.analysis.precedence` — Theorem 2's per-buffer constraint
+  windows (``Q``, ``α``, ``β``, the useful-pair set ``Y``).
+* :mod:`repro.analysis.constraint_graph` — the bi-valued graph the MCRP is
+  solved on.
+* :mod:`repro.analysis.liveness` — exact liveness via token simulation.
+"""
+
+from repro.analysis.bounds import PeriodBounds, period_bounds
+from repro.analysis.consistency import (
+    is_consistent,
+    normalized_rates,
+    repetition_vector,
+    repetition_vector_sum,
+)
+from repro.analysis.latency import (
+    asap_source_sink_latency,
+    iteration_makespan,
+)
+from repro.analysis.liveness import is_live
+from repro.analysis.structure import (
+    strongly_connected_components,
+    is_strongly_connected,
+    weakly_connected_components,
+)
+from repro.analysis.precedence import (
+    PrecedenceConstraint,
+    buffer_constraints,
+    constraint_window,
+    useful_pairs,
+)
+from repro.analysis.constraint_graph import build_constraint_graph
+
+__all__ = [
+    "PeriodBounds",
+    "period_bounds",
+    "asap_source_sink_latency",
+    "iteration_makespan",
+    "is_consistent",
+    "normalized_rates",
+    "repetition_vector",
+    "repetition_vector_sum",
+    "is_live",
+    "strongly_connected_components",
+    "is_strongly_connected",
+    "weakly_connected_components",
+    "PrecedenceConstraint",
+    "buffer_constraints",
+    "constraint_window",
+    "useful_pairs",
+    "build_constraint_graph",
+]

@@ -1,0 +1,68 @@
+"""Cheap analytic period bounds (no MCRP solve).
+
+Design-space exploration often wants a one-microsecond estimate before
+paying for an exact evaluation. Two classic bounds:
+
+* **utilization** (lower bound on the period): every task's
+  serialization forces ``Ω ≥ q_t·Σ_p d(t_p)``; take the max. Exact
+  whenever the binding constraint is a single task's workload.
+* **sequential** (upper bound): executing the whole iteration one firing
+  at a time needs ``Σ_t q_t·Σ_p d(t_p)``; any live graph admits a
+  periodic schedule no slower than one iteration per sequential sweep
+  (validity requires liveness, which this module does not check).
+
+The exact period always lies in ``[utilization, sequential]`` for live
+graphs — pinned by a property test against K-Iter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.analysis.consistency import repetition_vector
+from repro.model.graph import CsdfGraph
+
+
+@dataclass(frozen=True)
+class PeriodBounds:
+    """``lower ≤ Ω* ≤ upper`` for live graphs."""
+
+    lower: Fraction
+    upper: Fraction
+    bottleneck_task: str
+
+    @property
+    def is_tight(self) -> bool:
+        return self.lower == self.upper
+
+    def contains(self, period: Fraction) -> bool:
+        return self.lower <= period <= self.upper
+
+
+def period_bounds(
+    graph: CsdfGraph,
+    repetition: Optional[Dict[str, int]] = None,
+) -> PeriodBounds:
+    """Utilization and sequential bounds on the exact period.
+
+    Examples
+    --------
+    >>> from repro.model import sdf
+    >>> b = period_bounds(sdf({"A": 2, "B": 3}, [("A", "B", 1, 1, 0)]))
+    >>> (b.lower, b.upper, b.bottleneck_task)
+    (Fraction(3, 1), Fraction(5, 1), 'B')
+    """
+    if repetition is None:
+        repetition = repetition_vector(graph)
+    workloads = {
+        t.name: repetition[t.name] * t.iteration_duration
+        for t in graph.tasks()
+    }
+    bottleneck = max(workloads, key=workloads.__getitem__)
+    return PeriodBounds(
+        lower=Fraction(workloads[bottleneck]),
+        upper=Fraction(sum(workloads.values())),
+        bottleneck_task=bottleneck,
+    )

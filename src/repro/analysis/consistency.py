@@ -1,0 +1,134 @@
+"""Consistency analysis: the repetition vector.
+
+A CSDFG is *consistent* when there is a vector ``q ∈ (ℕ∖{0})^|T|`` with
+``q_t · i_b = q_{t'} · o_b`` for every buffer ``b = (t, t')``. The minimal
+such vector is the *repetition vector*: the number of iterations of each
+task in one graph iteration that restores every buffer's token count.
+
+The computation propagates exact rational rates over a spanning forest of
+the (undirected) buffer graph, then verifies every balance equation —
+including those of non-tree buffers. Arbitrary-precision ``Fraction``
+arithmetic makes integer overflow impossible (the paper notes it had to
+*fix* SDF3's repetition-vector computation for exactly this reason).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.exceptions import InconsistentGraphError, ModelError
+from repro.model.graph import CsdfGraph
+from repro.utils.rational import normalize_fractions
+
+
+def normalized_rates(graph: CsdfGraph) -> Dict[str, Fraction]:
+    """Per-task firing rates as exact fractions, one component at a time.
+
+    Within each weakly-connected component the rates are normalized so the
+    smallest equals 1. Raises :class:`InconsistentGraphError` when the
+    balance equations are unsolvable.
+    """
+    if graph.task_count == 0:
+        return {}
+    rates: Dict[str, Optional[Fraction]] = {t.name: None for t in graph.tasks()}
+    adjacency: Dict[str, List[tuple]] = {t.name: [] for t in graph.tasks()}
+    for b in graph.buffers():
+        if b.is_self_loop():
+            # A self-loop is consistent iff i_b == o_b; no rate information.
+            if b.total_production != b.total_consumption:
+                raise InconsistentGraphError(
+                    f"self-loop buffer {b.name!r} produces "
+                    f"{b.total_production} but consumes {b.total_consumption} "
+                    "per iteration"
+                )
+            continue
+        ratio = Fraction(b.total_consumption, b.total_production)
+        # rate(source) = ratio * rate(target) would invert; careful:
+        # q_src * i_b = q_dst * o_b  =>  q_src = q_dst * o_b / i_b.
+        adjacency[b.source].append((b.target, Fraction(1, 1) / ratio))
+        adjacency[b.target].append((b.source, ratio))
+
+    for root in rates:
+        if rates[root] is not None:
+            continue
+        rates[root] = Fraction(1)
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            ru = rates[u]
+            assert ru is not None
+            for v, factor in adjacency[u]:
+                # adjacency stores rate(v) = rate(u) * factor
+                expected = ru * factor
+                if rates[v] is None:
+                    rates[v] = expected
+                    stack.append(v)
+                elif rates[v] != expected:
+                    raise InconsistentGraphError(
+                        f"rate conflict at task {v!r}: "
+                        f"{rates[v]} vs {expected}"
+                    )
+    # normalize each component so the minimum is 1 (cosmetic; the final
+    # integer scaling happens in repetition_vector()).
+    result: Dict[str, Fraction] = {}
+    for name, rate in rates.items():
+        assert rate is not None
+        result[name] = rate
+    return result
+
+
+def repetition_vector(graph: CsdfGraph) -> Dict[str, int]:
+    """The minimal repetition vector ``q`` of a consistent graph.
+
+    Raises
+    ------
+    InconsistentGraphError
+        If no repetition vector exists.
+    ModelError
+        If the graph has no task.
+
+    Examples
+    --------
+    >>> from repro.model import sdf
+    >>> g = sdf({"A": 1, "B": 1}, [("A", "B", 2, 3, 0)])
+    >>> repetition_vector(g)
+    {'A': 3, 'B': 2}
+    """
+    if graph.task_count == 0:
+        raise ModelError("repetition vector of an empty graph is undefined")
+    rates = normalized_rates(graph)
+    names = graph.task_names()
+    q_ints = normalize_fractions([rates[n] for n in names])
+    q = dict(zip(names, q_ints))
+    _verify_balance(graph, q)
+    return q
+
+
+def _verify_balance(graph: CsdfGraph, q: Dict[str, int]) -> None:
+    """Check every balance equation (covers non-spanning-tree buffers)."""
+    for b in graph.buffers():
+        lhs = q[b.source] * b.total_production
+        rhs = q[b.target] * b.total_consumption
+        if lhs != rhs:
+            raise InconsistentGraphError(
+                f"buffer {b.name!r} violates balance: "
+                f"q[{b.source}]*{b.total_production} = {lhs} != "
+                f"{rhs} = q[{b.target}]*{b.total_consumption}"
+            )
+    if any(v <= 0 for v in q.values()):
+        raise InconsistentGraphError(f"non-positive repetition entries in {q}")
+
+
+def is_consistent(graph: CsdfGraph) -> bool:
+    """True when the graph admits a repetition vector."""
+    try:
+        repetition_vector(graph)
+    except InconsistentGraphError:
+        return False
+    return True
+
+
+def repetition_vector_sum(graph: CsdfGraph) -> int:
+    """``Σ_t q_t`` — the instance-size proxy used by the paper's tables."""
+    return sum(repetition_vector(graph).values())

@@ -1,0 +1,173 @@
+"""Deadlock diagnosis: *why* does a graph refuse to run?
+
+`is_live` answers yes/no; when designing a graph (or choosing buffer
+capacities) the useful answer is the **starvation cycle**: which tasks
+are waiting for which buffers, and how many tokens are missing. The
+diagnosis runs the greedy capped token game to its stuck point, builds
+the waits-for relation among unfinished tasks, and extracts a cycle —
+the certificate a designer acts on (add tokens somewhere on it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.consistency import repetition_vector
+from repro.exceptions import ModelError
+from repro.model.graph import CsdfGraph
+
+
+@dataclass(frozen=True)
+class Starvation:
+    """One blocked task at the stuck point of the token game."""
+
+    task: str
+    phase: int           # 1-based phase the task is stuck at
+    buffer: str
+    producer: str        # the task that would have to supply tokens
+    missing: int         # tokens short for the next firing
+
+
+@dataclass
+class DeadlockDiagnosis:
+    """Stuck-point explanation of a non-live graph.
+
+    ``cycle`` is a circular waits-for chain of starvations when one
+    exists (always, for graphs whose deadlock is token-induced);
+    ``starvations`` lists every blocked task.
+    """
+
+    starvations: List[Starvation]
+    cycle: List[Starvation]
+    completed_fraction: float  # progress of the iteration before sticking
+
+    def describe(self) -> str:
+        lines = [
+            f"deadlock after {self.completed_fraction:.0%} of one "
+            "graph iteration; starvation cycle:"
+        ]
+        for s in self.cycle:
+            lines.append(
+                f"  {s.task} (phase {s.phase}) waits for {s.missing} "
+                f"token(s) on {s.buffer} from {s.producer}"
+            )
+        return "\n".join(lines)
+
+
+def explain_deadlock(graph: CsdfGraph) -> Optional[DeadlockDiagnosis]:
+    """Diagnose a deadlock; ``None`` when the graph is live.
+
+    Examples
+    --------
+    >>> from repro.model import sdf
+    >>> g = sdf({"A": 1, "B": 1},
+    ...         [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 0)])
+    >>> diag = explain_deadlock(g)
+    >>> len(diag.cycle)
+    2
+    """
+    q = repetition_vector(graph)
+    names = graph.task_names()
+    phi = {n: graph.task(n).phase_count for n in names}
+    cursor = {n: 0 for n in names}
+    remaining = {n: q[n] * phi[n] for n in names}
+
+    buffers = {b.name: b for b in graph.buffers()}
+    tokens = {b.name: b.initial_tokens for b in graph.buffers()}
+    consumes: Dict[str, List[str]] = {n: [] for n in names}
+    for b in graph.buffers():
+        consumes[b.target].append(b.name)
+
+    total = sum(remaining.values())
+    progress = True
+    while progress:
+        progress = False
+        for t in names:
+            while remaining[t]:
+                p = cursor[t]
+                blocked = False
+                for b_name in consumes[t]:
+                    b = buffers[b_name]
+                    if tokens[b_name] < b.consumption[p]:
+                        blocked = True
+                        break
+                if blocked:
+                    break
+                for b_name in consumes[t]:
+                    tokens[b_name] -= buffers[b_name].consumption[p]
+                for b in graph.out_buffers(t):
+                    tokens[b.name] += b.production[p]
+                cursor[t] = (p + 1) % phi[t]
+                remaining[t] -= 1
+                progress = True
+    done = total - sum(remaining.values())
+    if done == total:
+        return None
+
+    # stuck: collect one starvation per blocked task
+    starvations: List[Starvation] = []
+    waits_for: Dict[str, Starvation] = {}
+    for t in names:
+        if not remaining[t]:
+            continue
+        p = cursor[t]
+        for b_name in consumes[t]:
+            b = buffers[b_name]
+            shortfall = b.consumption[p] - tokens[b_name]
+            if shortfall > 0:
+                s = Starvation(
+                    task=t,
+                    phase=p + 1,
+                    buffer=b_name,
+                    producer=b.source,
+                    missing=shortfall,
+                )
+                starvations.append(s)
+                if t not in waits_for:
+                    waits_for[t] = s
+                break
+    if not starvations:  # pragma: no cover - stuck implies starvation
+        raise ModelError("stuck token game without starved task")
+
+    cycle = _waits_for_cycle(waits_for)
+    return DeadlockDiagnosis(
+        starvations=starvations,
+        cycle=cycle,
+        completed_fraction=done / total if total else 0.0,
+    )
+
+
+def _waits_for_cycle(
+    waits_for: Dict[str, Starvation]
+) -> List[Starvation]:
+    """Follow task → producer links until a task repeats.
+
+    Every blocked task waits on some producer; if the producer is not
+    blocked itself the chain ends (a *starved source* — e.g. a
+    capacity-starved upstream): return the chain as-is. Otherwise the
+    walk closes a genuine circular wait.
+    """
+    for start in waits_for:
+        chain: List[Starvation] = []
+        seen: Dict[str, int] = {}
+        t = start
+        while t in waits_for and t not in seen:
+            seen[t] = len(chain)
+            chain.append(waits_for[t])
+            t = waits_for[t].producer
+        if t in seen:
+            return chain[seen[t]:]
+    # no circular wait: report the longest chain found (starved source)
+    longest: List[Starvation] = []
+    for start in waits_for:
+        chain = []
+        t = start
+        visited = set()
+        while t in waits_for and t not in visited:
+            visited.add(t)
+            chain.append(waits_for[t])
+            t = waits_for[t].producer
+        if len(chain) > len(longest):
+            longest = chain
+    return longest

@@ -1,0 +1,131 @@
+"""Latency metrics for CSDF schedules.
+
+Throughput is the paper's subject; latency is the companion quality the
+introduction motivates (streaming deadlines). Two standard metrics:
+
+* :func:`iteration_makespan` — steady-state span of one graph iteration
+  under a K-periodic schedule (max completion − min start over the
+  iteration's executions). Constant from one iteration to the next by
+  periodicity.
+* :func:`asap_source_sink_latency` — self-timed elapsed time between the
+  first firing of a source task and the first completion of a sink task
+  (the classical "first token out" measure).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.analysis.consistency import repetition_vector
+from repro.exceptions import DeadlockError, ModelError
+from repro.kperiodic.schedule import KPeriodicSchedule
+from repro.model.graph import CsdfGraph
+from repro.scheduling.asap import AsapSimulator
+
+
+def iteration_makespan(
+    schedule: KPeriodicSchedule,
+    graph: CsdfGraph,
+    *,
+    iteration: int = 2,
+) -> Fraction:
+    """Span of graph iteration ``iteration`` (1-based) under ``schedule``.
+
+    Iteration ``r`` comprises executions ``(r−1)·q_t + 1 … r·q_t`` of
+    every task. Early iterations can be shorter (start-up transient);
+    by periodicity every iteration ≥ 2 has the same span, so that is the
+    default.
+
+    Examples
+    --------
+    >>> from repro.model import sdf
+    >>> from repro.kperiodic import min_period_for_k
+    >>> g = sdf({"A": 1, "B": 1},
+    ...         [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 1)])
+    >>> s = min_period_for_k(g, {"A": 1, "B": 1}).schedule
+    >>> iteration_makespan(s, g)
+    Fraction(2, 1)
+    """
+    if iteration < 1:
+        raise ModelError(f"iteration must be ≥ 1, got {iteration}")
+    q = repetition_vector(graph)
+    earliest: Optional[Fraction] = None
+    latest: Optional[Fraction] = None
+    for t in graph.tasks():
+        for n in range((iteration - 1) * q[t.name] + 1,
+                       iteration * q[t.name] + 1):
+            for p in range(1, t.phase_count + 1):
+                start = schedule.start_time(t.name, p, n)
+                end = start + t.duration(p)
+                if earliest is None or start < earliest:
+                    earliest = start
+                if latest is None or end > latest:
+                    latest = end
+    assert earliest is not None and latest is not None
+    return latest - earliest
+
+
+def asap_source_sink_latency(
+    graph: CsdfGraph,
+    source: str,
+    sink: str,
+    *,
+    max_events: int = 1_000_000,
+) -> int:
+    """Self-timed latency: first ``source`` start → first ``sink`` end.
+
+    Both tasks must complete at least one full iteration's worth of
+    firings for the measure to be meaningful; the simulation runs until
+    the sink completes its first firing.
+    """
+    graph.task(source)
+    graph.task(sink)
+    sim = AsapSimulator(graph)
+    names = sim._task_names
+    src_idx = names.index(source)
+    sink_idx = names.index(sink)
+    first_start: Optional[int] = None
+    sink_end: Optional[int] = None
+
+    def recorder(t_idx: int, _phase0: int, start: int, end: int) -> None:
+        nonlocal first_start, sink_end
+        if t_idx == src_idx and first_start is None:
+            first_start = start
+        if t_idx == sink_idx and sink_end is None:
+            sink_end = end
+
+    while sink_end is None:
+        if sim.total_events > max_events:
+            raise ModelError(
+                f"sink {sink!r} did not fire within {max_events} events"
+            )
+        if not sim.step(on_firing=recorder):
+            raise DeadlockError(
+                f"graph {graph.name!r} deadlocked before {sink!r} fired"
+            )
+    if first_start is None:
+        raise ModelError(
+            f"sink {sink!r} fired before source {source!r}; "
+            "check the direction of the measurement"
+        )
+    return sink_end - first_start
+
+
+def schedule_latency_by_task(
+    schedule: KPeriodicSchedule,
+    graph: CsdfGraph,
+) -> Dict[str, Fraction]:
+    """Per-task steady-state busy span within one iteration (diagnostic)."""
+    q = repetition_vector(graph)
+    spans: Dict[str, Fraction] = {}
+    for t in graph.tasks():
+        starts = []
+        ends = []
+        for n in range(q[t.name] + 1, 2 * q[t.name] + 1):
+            for p in range(1, t.phase_count + 1):
+                s = schedule.start_time(t.name, p, n)
+                starts.append(s)
+                ends.append(s + t.duration(p))
+        spans[t.name] = max(ends) - min(starts)
+    return spans

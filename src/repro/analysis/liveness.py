@@ -1,0 +1,81 @@
+"""Liveness of a consistent CSDFG.
+
+A consistent CSDFG is *live* iff the untimed token game can complete one
+full graph iteration — ``q_t`` iterations (``q_t·ϕ(t)`` phase firings) of
+every task — from the initial marking. After a full iteration the marking
+returns to its initial value, so the execution repeats forever.
+
+The check is the classic greedy capped firing: repeatedly fire any enabled
+task whose cap is not yet reached. Firing is monotone (firing one task
+never disables a *different* enabled firing), so greedy order is complete:
+it succeeds iff some order succeeds.
+
+Liveness is exactly the feasibility side of the throughput problem: the
+MCRP formulation raises :class:`~repro.exceptions.DeadlockError` on
+non-live graphs, and the two must agree (covered by the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.consistency import repetition_vector
+from repro.exceptions import InconsistentGraphError
+from repro.model.graph import CsdfGraph
+
+
+def is_live(graph: CsdfGraph) -> bool:
+    """True when the graph is consistent and admits an infinite schedule.
+
+    Examples
+    --------
+    >>> from repro.model import sdf
+    >>> is_live(sdf({"A": 1, "B": 1},
+    ...             [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 0)]))
+    False
+    >>> is_live(sdf({"A": 1, "B": 1},
+    ...             [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 1)]))
+    True
+    """
+    try:
+        q = repetition_vector(graph)
+    except InconsistentGraphError:
+        return False
+    return can_complete_iteration(graph, q)
+
+
+def can_complete_iteration(graph: CsdfGraph, q: Dict[str, int]) -> bool:
+    """Greedy capped token game: can every task fire ``q_t`` iterations?"""
+    names = graph.task_names()
+    index = {n: i for i, n in enumerate(names)}
+    phi = [graph.task(n).phase_count for n in names]
+    target = [q[n] * phi[i] for i, n in enumerate(names)]
+    fired = [0] * len(names)
+    cursor = [0] * len(names)
+
+    buffers = list(graph.buffers())
+    tokens = [b.initial_tokens for b in buffers]
+    consumes = [[] for _ in names]  # (buffer idx, rate vector)
+    produces = [[] for _ in names]
+    for b_idx, b in enumerate(buffers):
+        produces[index[b.source]].append((b_idx, b.production))
+        consumes[index[b.target]].append((b_idx, b.consumption))
+
+    def can_fire(t: int) -> bool:
+        p = cursor[t]
+        return all(tokens[b] >= rates[p] for b, rates in consumes[t])
+
+    progress = True
+    while progress:
+        progress = False
+        for t in range(len(names)):
+            while fired[t] < target[t] and can_fire(t):
+                p = cursor[t]
+                for b, rates in consumes[t]:
+                    tokens[b] -= rates[p]
+                for b, rates in produces[t]:
+                    tokens[b] += rates[p]
+                cursor[t] = (p + 1) % phi[t]
+                fired[t] += 1
+                progress = True
+    return all(fired[t] == target[t] for t in range(len(names)))

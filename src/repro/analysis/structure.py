@@ -1,0 +1,108 @@
+"""Structural graph analyses: strongly/weakly connected components.
+
+Implemented directly (iterative Tarjan) rather than via networkx so the
+core library stays dependency-free and the SCC order is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.model.graph import CsdfGraph
+
+
+def strongly_connected_components(graph: CsdfGraph) -> List[List[str]]:
+    """Tarjan's SCCs over tasks, arcs being buffers (self-loops ignored).
+
+    Returned in reverse topological order of the condensation (Tarjan's
+    natural output order), each component sorted by task insertion order.
+    """
+    order = {name: i for i, name in enumerate(graph.task_names())}
+    succ: Dict[str, List[str]] = {name: [] for name in order}
+    for b in graph.buffers():
+        if not b.is_self_loop():
+            succ[b.source].append(b.target)
+
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = [0]
+
+    for root in order:
+        if root in index:
+            continue
+        # Iterative Tarjan: work items are (node, iterator position).
+        work = [(root, 0)]
+        while work:
+            node, child_i = work[-1]
+            if child_i == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            children = succ[node]
+            while child_i < len(children):
+                child = children[child_i]
+                child_i += 1
+                if child not in index:
+                    work[-1] = (node, child_i)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack.get(child, False):
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == node:
+                        break
+                component.sort(key=order.__getitem__)
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return components
+
+
+def is_strongly_connected(graph: CsdfGraph) -> bool:
+    """True when all tasks lie in a single SCC (empty graphs are not)."""
+    if graph.task_count == 0:
+        return False
+    return len(strongly_connected_components(graph)) == 1
+
+
+def weakly_connected_components(graph: CsdfGraph) -> List[List[str]]:
+    """Connected components ignoring arc direction."""
+    adjacency: Dict[str, List[str]] = {n: [] for n in graph.task_names()}
+    for b in graph.buffers():
+        if not b.is_self_loop():
+            adjacency[b.source].append(b.target)
+            adjacency[b.target].append(b.source)
+    seen: Dict[str, bool] = {}
+    components: List[List[str]] = []
+    order = {name: i for i, name in enumerate(graph.task_names())}
+    for root in adjacency:
+        if root in seen:
+            continue
+        component = []
+        stack = [root]
+        seen[root] = True
+        while stack:
+            u = stack.pop()
+            component.append(u)
+            for v in adjacency[u]:
+                if v not in seen:
+                    seen[v] = True
+                    stack.append(v)
+        component.sort(key=order.__getitem__)
+        components.append(component)
+    return components

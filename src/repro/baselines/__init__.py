@@ -1,0 +1,26 @@
+"""Baseline throughput-evaluation methods the paper compares against.
+
+* :mod:`repro.baselines.periodic` — the polynomial *approximative*
+  1-periodic method [Bodin et al., ESTIMedia'13] (paper reference [4]).
+* :mod:`repro.baselines.symbolic` — the *exact exponential* symbolic
+  execution / state-space method [Ghamarian et al. ACSD'06, Stuijk et al.
+  TC'08] (paper references [8] and [16]).
+* :mod:`repro.baselines.expansion` — SDF→HSDF expansion [Lee &
+  Messerschmitt '87] plus maximum cycle mean, with a reduced-arc variant
+  standing in for the cycle-induced-subgraph method [de Groote et al.'12]
+  (paper reference [6]).
+"""
+
+from repro.baselines.expansion import (
+    expand_sdf_to_hsdf,
+    throughput_expansion,
+)
+from repro.baselines.periodic import throughput_periodic
+from repro.baselines.symbolic import throughput_symbolic
+
+__all__ = [
+    "expand_sdf_to_hsdf",
+    "throughput_expansion",
+    "throughput_periodic",
+    "throughput_symbolic",
+]

@@ -1,0 +1,26 @@
+"""Benchmark harness regenerating the paper's tables.
+
+* :mod:`repro.bench.runner` — method wrappers with wall-clock budgets
+  and uniform outcome records (OK / N-S / DEADLOCK / TIMEOUT).
+* :mod:`repro.bench.table1` — Table 1 (SDF categories × 3 optimal
+  methods, average runtimes).
+* :mod:`repro.bench.table2` — Table 2 (CSDF applications and synthetic
+  graphs × {periodic, K-Iter, symbolic}, optimality % + runtimes).
+* :mod:`repro.bench.reporting` — ASCII/markdown table formatting.
+"""
+
+from repro.bench.runner import MethodOutcome, run_method
+from repro.bench.reporting import format_table
+from repro.bench.table1 import TABLE1_CATEGORIES, run_table1, format_table1
+from repro.bench.table2 import run_table2, format_table2
+
+__all__ = [
+    "MethodOutcome",
+    "run_method",
+    "format_table",
+    "TABLE1_CATEGORIES",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+]

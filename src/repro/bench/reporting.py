@@ -1,0 +1,33 @@
+"""Plain-text table rendering for the bench drivers."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Align columns with a header rule; markdown-ish but monospace-first."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt_row(cells) -> str:
+        return " | ".join(
+            str(c).ljust(widths[i]) for i, c in enumerate(cells)
+        ).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append("-+-".join("-" * w for w in widths[:columns]))
+    for row in rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)

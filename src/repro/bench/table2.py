@@ -1,0 +1,134 @@
+"""Table 2: CSDF applications and synthetic graphs × three methods.
+
+Paper layout: for each graph (applications with and without buffer-size
+bounds, then five synthetic graphs) the optimality percentage and runtime
+of the approximative periodic method [4], K-Iter, and symbolic execution
+[16]. ``N/S`` marks a live graph with no strictly periodic schedule;
+``> budget`` marks timeouts; ``??%`` marks optimality that nobody could
+certify (paper rows graph2/graph3).
+
+Bounded-buffer variants use the smallest power-of-two multiple of each
+buffer's structural minimal capacity that keeps the graph live — the
+tightest interesting bound (a fixed arbitrary bound either deadlocks or
+is slack; the paper's suite shipped hand-chosen sizes we don't have).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import is_live, repetition_vector_sum
+from repro.bench.reporting import format_table
+from repro.bench.runner import MethodOutcome, run_method
+from repro.buffers.capacity import bound_all_buffers, minimal_buffer_capacity
+from repro.generators.csdf_apps import csdf_applications
+from repro.generators.synthetic import synthetic_graphs
+
+METHODS = ("periodic", "kiter", "symbolic")
+
+
+@dataclass
+class Table2Row:
+    name: str
+    tasks: int
+    buffers: int
+    sum_q: int
+    outcomes: Dict[str, MethodOutcome] = field(default_factory=dict)
+    exact: Optional[Fraction] = None
+
+
+def tightest_live_bounding(graph, max_doublings: int = 12):
+    """Bound every buffer at the smallest live power-of-two scale."""
+    scale = 1
+    for _ in range(max_doublings):
+        caps = {
+            b.name: scale * minimal_buffer_capacity(b)
+            for b in graph.buffers()
+            if not b.is_self_loop()
+        }
+        bounded = bound_all_buffers(graph, caps)
+        if is_live(bounded):
+            return bounded, scale
+        scale *= 2
+    raise RuntimeError(
+        f"no live bounding found for {graph.name!r} within "
+        f"scale 2^{max_doublings}"
+    )
+
+
+def _run_rows(
+    entries: List[Tuple[str, object]],
+    budget: float,
+) -> List[Table2Row]:
+    rows = []
+    for name, graph in entries:
+        row = Table2Row(
+            name=name,
+            tasks=graph.task_count,
+            buffers=graph.buffer_count,
+            sum_q=repetition_vector_sum(graph),
+        )
+        for method in METHODS:
+            row.outcomes[method] = run_method(method, graph, budget)
+        kiter = row.outcomes.get("kiter")
+        symbolic = row.outcomes.get("symbolic")
+        if kiter is not None and kiter.ok:
+            row.exact = kiter.period
+        elif symbolic is not None and symbolic.ok:
+            row.exact = symbolic.period
+        rows.append(row)
+    return rows
+
+
+def run_table2(
+    *,
+    scale: int = 1,
+    budget: float = 60.0,
+    include_bounded: bool = True,
+    include_synthetic: bool = True,
+) -> Dict[str, List[Table2Row]]:
+    """The three Table 2 blocks: unbounded apps, bounded apps, synthetic."""
+    blocks: Dict[str, List[Table2Row]] = {}
+    apps = [(name, thunk()) for name, thunk in csdf_applications(scale)]
+    blocks["no buffer size"] = _run_rows(apps, budget)
+    if include_bounded:
+        bounded_entries = []
+        for name, graph in apps:
+            bounded, _cap_scale = tightest_live_bounding(graph)
+            bounded_entries.append((name, bounded))
+        blocks["fixed buffer size"] = _run_rows(bounded_entries, budget)
+    if include_synthetic:
+        synth = [(name, thunk()) for name, thunk in synthetic_graphs(scale)]
+        blocks["synthetic"] = _run_rows(synth, budget)
+    return blocks
+
+
+def format_table2(blocks: Dict[str, List[Table2Row]]) -> str:
+    headers = [
+        "Application", "Tasks", "Buffers", "Σq",
+        "periodic [4]", "K-Iter", "symbolic [16]",
+    ]
+    sections = []
+    for block_name, rows in blocks.items():
+        body = []
+        for r in rows:
+            cells = [r.name, str(r.tasks), str(r.buffers), str(r.sum_q)]
+            for method in METHODS:
+                o = r.outcomes[method]
+                if o.status == "OK":
+                    cells.append(
+                        f"{o.optimality_text(r.exact)} {o.time_text()}"
+                    )
+                elif o.status == "N/S":
+                    cells.append(f"N/S {o.time_text()}")
+                elif o.status == "DEADLOCK":
+                    cells.append(f"deadlock {o.time_text()}")
+                else:
+                    cells.append(o.time_text())
+            body.append(cells)
+        sections.append(
+            format_table(headers, body, title=f"Table 2 — {block_name}")
+        )
+    return "\n\n".join(sections)

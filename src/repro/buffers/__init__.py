@@ -1,0 +1,21 @@
+"""Bounded-buffer modelling and sizing.
+
+* :mod:`repro.buffers.capacity` — the classical feedback-arc encoding of
+  finite buffer capacities (Table 2's "fixed buffer size" rows).
+* :mod:`repro.buffers.sizing` — throughput/storage trade-off exploration.
+"""
+
+from repro.buffers.capacity import bound_all_buffers, bound_buffer
+from repro.buffers.sizing import (
+    minimal_feasible_scale,
+    minimize_total_storage,
+    throughput_storage_curve,
+)
+
+__all__ = [
+    "bound_all_buffers",
+    "bound_buffer",
+    "minimal_feasible_scale",
+    "minimize_total_storage",
+    "throughput_storage_curve",
+]

@@ -1,0 +1,110 @@
+"""Finite buffer capacities as feedback arcs.
+
+A buffer ``b = (t, t')`` with capacity ``c`` is modelled by adding the
+reverse buffer ``b' = (t', t)`` carrying *free space*: the consumer
+produces space with ``b``'s consumption vector when it completes, the
+producer claims space with ``b``'s production vector when it starts, and
+``M0(b') = c − M0(b)``.
+
+This is exact for the consume-at-start/produce-at-end semantics used
+throughout the library (the producer reserves its output space for the
+whole firing). The transformation doubles the buffer count — compare the
+``Buffers`` column of Table 2's two halves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Union
+
+from repro.exceptions import ModelError
+from repro.model.graph import CsdfGraph
+
+
+def bound_buffer(
+    graph: CsdfGraph,
+    buffer_name: str,
+    capacity: int,
+) -> CsdfGraph:
+    """A copy of ``graph`` where one buffer has finite capacity.
+
+    ``capacity`` must cover the initial marking; too small a capacity may
+    deadlock the graph (detected by the analyses, not here).
+    """
+    buffer = graph.buffer(buffer_name)
+    if capacity < buffer.initial_tokens:
+        raise ModelError(
+            f"capacity {capacity} of buffer {buffer_name!r} is below its "
+            f"initial marking {buffer.initial_tokens}"
+        )
+    bounded = graph.copy(graph.name)
+    bounded.add_buffer(
+        buffer.reversed(
+            name=f"__space_{buffer_name}",
+            initial_tokens=capacity - buffer.initial_tokens,
+        )
+    )
+    return bounded
+
+
+def bound_all_buffers(
+    graph: CsdfGraph,
+    capacities: Union[int, Mapping[str, int]],
+    *,
+    skip_self_loops: bool = True,
+) -> CsdfGraph:
+    """A copy of ``graph`` with every (data) buffer capacity-bounded.
+
+    Parameters
+    ----------
+    capacities:
+        Either one uniform capacity or a per-buffer mapping. Uniform
+        capacities below a buffer's structural minimum
+        (:func:`minimal_buffer_capacity`) are raised to that minimum so
+        the result is never *trivially* dead.
+    skip_self_loops:
+        Serialization-style self-loops model execution order, not
+        storage; they are left unbounded by default.
+
+    Examples
+    --------
+    >>> from repro.model import sdf
+    >>> g = sdf({"A": 1, "B": 1}, [("A", "B", 2, 3, 0)])
+    >>> bounded = bound_all_buffers(g, 6)
+    >>> bounded.buffer("__space_A_B_0").initial_tokens
+    6
+    """
+    bounded = graph.copy(graph.name)
+    for b in graph.buffers():
+        if skip_self_loops and b.is_self_loop():
+            continue
+        if isinstance(capacities, int):
+            cap = max(capacities, minimal_buffer_capacity(b))
+        else:
+            if b.name not in capacities:
+                continue
+            cap = capacities[b.name]
+        if cap < b.initial_tokens:
+            raise ModelError(
+                f"capacity {cap} of buffer {b.name!r} is below its "
+                f"initial marking {b.initial_tokens}"
+            )
+        bounded.add_buffer(
+            b.reversed(
+                name=f"__space_{b.name}",
+                initial_tokens=cap - b.initial_tokens,
+            )
+        )
+    return bounded
+
+
+def minimal_buffer_capacity(buffer) -> int:
+    """A structural lower bound on a workable capacity.
+
+    One firing must fit: the producer claims ``max_p in_b(p)`` space while
+    the consumer may still hold unread tokens up to ``max_{p'} out_b(p')``;
+    the initial marking must also fit.
+    """
+    return max(
+        max(buffer.production) + max(buffer.consumption),
+        buffer.initial_tokens,
+    )

@@ -1,0 +1,306 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands
+--------
+``info``        graph summary, repetition vector, liveness, period bounds
+``throughput``  exact/approximate throughput with a chosen method
+``convert``     JSON ↔ SDF3-XML ↔ DOT conversion (by file extension)
+``gantt``       ASCII Gantt of the ASAP or optimal K-periodic schedule
+``generate``    emit a benchmark graph (paper figures, apps, categories)
+``bench``       regenerate Table 1 / Table 2
+
+Graphs are read from ``.json`` (native format) or ``.xml`` (SDF3 subset).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis import is_consistent, is_live, repetition_vector
+from repro.analysis.bounds import period_bounds
+from repro.exceptions import ReproError
+from repro.io import (
+    graph_to_dot,
+    load_graph,
+    read_sdf3_xml,
+    save_graph,
+    write_sdf3_xml,
+)
+from repro.model.graph import CsdfGraph
+
+
+def _read_graph(path: str) -> CsdfGraph:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".json":
+        return load_graph(path)
+    if suffix == ".xml":
+        return read_sdf3_xml(path)
+    raise ReproError(f"unknown graph format {suffix!r} (use .json or .xml)")
+
+
+def _write_graph(graph: CsdfGraph, path: str) -> None:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".json":
+        save_graph(graph, path)
+    elif suffix == ".xml":
+        write_sdf3_xml(graph, path)
+    elif suffix == ".dot":
+        Path(path).write_text(graph_to_dot(graph))
+    else:
+        raise ReproError(
+            f"unknown output format {suffix!r} (use .json, .xml or .dot)"
+        )
+
+
+# ----------------------------------------------------------------------
+def cmd_info(args) -> int:
+    graph = _read_graph(args.graph)
+    print(graph.summary())
+    if not is_consistent(graph):
+        print("consistent: no (throughput undefined)")
+        return 1
+    q = repetition_vector(graph)
+    print("consistent: yes")
+    print("repetition vector:", q)
+    print("sum(q):", sum(q.values()))
+    live = is_live(graph)
+    print("live:", "yes" if live else "no (deadlock)")
+    if live:
+        bounds = period_bounds(graph, q)
+        print(f"period bounds: [{bounds.lower}, {bounds.upper}] "
+              f"(bottleneck: {bounds.bottleneck_task})")
+    else:
+        from repro.analysis.deadlock import explain_deadlock
+
+        diagnosis = explain_deadlock(graph)
+        if diagnosis is not None:
+            print(diagnosis.describe())
+    return 0
+
+
+def cmd_throughput(args) -> int:
+    from repro.bench.runner import run_method
+
+    graph = _read_graph(args.graph)
+    outcome = run_method(args.method, graph, args.budget)
+    print(f"method: {args.method}")
+    print(f"status: {outcome.status}")
+    if outcome.period is not None:
+        print(f"period: {outcome.period}")
+        if outcome.period != 0:
+            th = Fraction(1, 1) / outcome.period
+            print(f"throughput: {th} (~{float(th):.6g})")
+    print(f"time: {outcome.time_text()}")
+    return 0 if outcome.status in ("OK",) else 1
+
+
+def cmd_convert(args) -> int:
+    graph = _read_graph(args.input)
+    _write_graph(graph, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_gantt(args) -> int:
+    from repro.scheduling import asap_schedule, render_gantt
+
+    graph = _read_graph(args.graph)
+    if args.kperiodic:
+        from repro.kperiodic import min_period_for_k, throughput_kiter
+        from repro.scheduling import schedule_to_firings
+
+        exact = throughput_kiter(graph)
+        result = min_period_for_k(graph, exact.K)
+        records = schedule_to_firings(
+            result.schedule, graph, horizon_iterations=args.iterations
+        )
+        print(f"optimal K-periodic schedule, Ω = {result.omega}, "
+              f"K = {exact.K}")
+    else:
+        records = asap_schedule(graph, iterations=args.iterations)
+        print("as-soon-as-possible schedule")
+    print(render_gantt(records, width=args.width))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.generators import (
+        blackscholes, echo, figure1_buffer, figure2_graph, h263_decoder,
+        h264_encoder, jpeg2000, large_hsdf, large_transient, mimic_dsp,
+        modem, mp3_playback, pdetect, samplerate_converter,
+        satellite_receiver,
+    )
+    from repro.generators.synthetic import (
+        graph1, graph2, graph3, graph4, graph5,
+    )
+
+    seeded = {
+        "mimic-dsp": mimic_dsp,
+        "large-hsdf": large_hsdf,
+        "large-transient": large_transient,
+    }
+    scaled = {
+        "blackscholes": blackscholes,
+        "echo": echo,
+        "jpeg2000": jpeg2000,
+        "pdetect": pdetect,
+        "h264": h264_encoder,
+        "graph1": graph1, "graph2": graph2, "graph3": graph3,
+        "graph4": graph4, "graph5": graph5,
+    }
+    plain = {
+        "figure1": figure1_buffer,
+        "figure2": figure2_graph,
+        "h263": h263_decoder,
+        "samplerate": samplerate_converter,
+        "satellite": satellite_receiver,
+        "modem": modem,
+        "mp3": mp3_playback,
+    }
+    name = args.name
+    if name in seeded:
+        graph = seeded[name](args.seed)
+    elif name in scaled:
+        graph = scaled[name](args.scale)
+    elif name in plain:
+        graph = plain[name]()
+    else:
+        known = sorted([*seeded, *scaled, *plain])
+        raise ReproError(f"unknown generator {name!r}; choose from {known}")
+    _write_graph(graph, args.output)
+    print(f"wrote {args.output}: {graph.task_count} tasks, "
+          f"{graph.buffer_count} buffers")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    from repro.io.schedule_format import save_schedule
+    from repro.kperiodic import min_period_for_k, throughput_kiter
+
+    graph = _read_graph(args.graph)
+    exact = throughput_kiter(graph)
+    result = min_period_for_k(graph, exact.K)
+    schedule = result.schedule
+    if schedule is None:
+        print("graph has unbounded throughput; no finite-period schedule")
+        return 1
+    schedule.verify(graph, iterations=3)
+    save_schedule(schedule, args.output)
+    print(f"period: {result.omega}")
+    print(f"K: {exact.K}")
+    print(f"schedule verified over 3 iterations and written to "
+          f"{args.output}")
+    return 0
+
+
+def cmd_map(args) -> int:
+    from repro.kperiodic import throughput_kiter
+    from repro.mapping import greedy_load_balance, throughput_under_mapping
+
+    graph = _read_graph(args.graph)
+    limit = throughput_kiter(graph).period
+    print(f"dataflow-limited period (no resource constraint): {limit}")
+    for procs in range(1, args.processors + 1):
+        mapping = greedy_load_balance(graph, procs)
+        result, _ = throughput_under_mapping(graph, mapping)
+        usage = len(mapping.processors())
+        print(f"{procs} processor(s): period {result.period} "
+              f"({usage} used, {mapping.granularity}-granular orders)")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    if args.table == "table1":
+        from repro.bench import format_table1, run_table1
+
+        rows = run_table1(
+            graphs_per_category=args.count, budget=args.budget
+        )
+        print(format_table1(rows))
+    else:
+        from repro.bench import format_table2, run_table2
+
+        blocks = run_table2(scale=args.scale, budget=args.budget)
+        print(format_table2(blocks))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Exact CSDF throughput evaluation (K-Iter, DAC'16).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="analyse a graph file")
+    p.add_argument("graph")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("throughput", help="evaluate throughput")
+    p.add_argument("graph")
+    p.add_argument("--method", default="kiter",
+                   choices=["kiter", "kiter-fullq", "periodic", "symbolic",
+                            "expansion", "expansion-full"])
+    p.add_argument("--budget", type=float, default=60.0,
+                   help="wall-clock budget in seconds")
+    p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser("convert", help="convert between formats")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("gantt", help="render a schedule")
+    p.add_argument("graph")
+    p.add_argument("--iterations", type=int, default=2)
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("--kperiodic", action="store_true",
+                   help="render the optimal K-periodic schedule "
+                        "instead of ASAP")
+    p.set_defaults(func=cmd_gantt)
+
+    p = sub.add_parser("generate", help="emit a benchmark graph")
+    p.add_argument("name")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=int, default=1)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("schedule",
+                       help="export the certified optimal schedule")
+    p.add_argument("graph")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("map", help="throughput under greedy mappings")
+    p.add_argument("graph")
+    p.add_argument("--processors", type=int, default=4,
+                   help="sweep 1..N processors")
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("bench", help="regenerate a paper table")
+    p.add_argument("table", choices=["table1", "table2"])
+    p.add_argument("--budget", type=float, default=20.0)
+    p.add_argument("--count", type=int, default=10)
+    p.add_argument("--scale", type=int, default=1)
+    p.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Benchmark graph generators.
+
+* :mod:`repro.generators.paper` — the paper's own Figures 1 and 2.
+* :mod:`repro.generators.dsp` — named classic DSP SDF applications
+  (Table 1's ActualDSP category).
+* :mod:`repro.generators.random_sdf` — seeded random SDF categories
+  mimicking Table 1's MimicDSP / LgHSDF / LgTransient statistics.
+* :mod:`repro.generators.csdf_apps` — structural analogues of the
+  IB+AG5CSDF industrial applications (Table 2's top block).
+* :mod:`repro.generators.synthetic` — graph1..graph5 analogues (Table 2's
+  bottom block).
+"""
+
+from repro.generators.paper import figure1_buffer, figure2_graph
+from repro.generators.dsp import (
+    actual_dsp_graphs,
+    h263_decoder,
+    modem,
+    mp3_playback,
+    samplerate_converter,
+    satellite_receiver,
+)
+from repro.generators.random_sdf import (
+    large_hsdf,
+    large_transient,
+    mimic_dsp,
+    random_connected_sdf,
+)
+from repro.generators.csdf_apps import (
+    blackscholes,
+    csdf_applications,
+    echo,
+    h264_encoder,
+    jpeg2000,
+    pdetect,
+)
+from repro.generators.synthetic import synthetic_graphs
+
+__all__ = [
+    "figure1_buffer",
+    "figure2_graph",
+    "actual_dsp_graphs",
+    "h263_decoder",
+    "modem",
+    "mp3_playback",
+    "samplerate_converter",
+    "satellite_receiver",
+    "large_hsdf",
+    "large_transient",
+    "mimic_dsp",
+    "random_connected_sdf",
+    "blackscholes",
+    "csdf_applications",
+    "echo",
+    "h264_encoder",
+    "jpeg2000",
+    "pdetect",
+    "synthetic_graphs",
+]

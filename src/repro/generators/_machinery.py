@@ -1,0 +1,141 @@
+"""Shared construction machinery for the seeded benchmark generators.
+
+All generators follow the same recipe, which guarantees *consistency and
+liveness by construction* (no rejection sampling):
+
+1. pick a repetition value ``q_t`` per task;
+2. build a DAG backbone over a topological order (forward edges carry no
+   initial tokens — sources make the DAG part live);
+3. optionally add feedback (back) edges whose initial marking covers one
+   full iteration of their consumer (``M0 = o_b·q_dst``), so the first
+   graph iteration — and hence every iteration — completes;
+4. edge rates between ``t`` and ``t'`` are scaled copies of
+   ``q_{t'}/g`` and ``q_t/g`` (``g = gcd``), split into random
+   cyclo-static phase compositions.
+
+Feedback markings of exactly one iteration are live yet frequently
+*binding*, which keeps the generated instances non-trivial for the
+throughput engines.
+"""
+
+from __future__ import annotations
+
+import random
+from math import gcd
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.buffer import Buffer
+from repro.model.graph import CsdfGraph
+from repro.model.task import Task
+
+
+def split_total(rng: random.Random, total: int, parts: int) -> Tuple[int, ...]:
+    """Random composition of ``total`` into ``parts`` non-negative ints.
+
+    At least one part is positive (``total ≥ 1`` required). Used to turn a
+    per-iteration rate total into a cyclo-static phase vector.
+    """
+    if total < 1:
+        raise ValueError("total must be ≥ 1")
+    if parts == 1:
+        return (total,)
+    cuts = sorted(rng.randrange(0, total + 1) for _ in range(parts - 1))
+    bounds = [0] + cuts + [total]
+    return tuple(bounds[i + 1] - bounds[i] for i in range(parts))
+
+
+def balanced_rate_totals(
+    q_src: int,
+    q_dst: int,
+    rate_scale: int = 1,
+) -> Tuple[int, int]:
+    """Per-iteration totals ``(i_b, o_b)`` satisfying ``q_src·i = q_dst·o``."""
+    g = gcd(q_src, q_dst)
+    return (q_dst // g) * rate_scale, (q_src // g) * rate_scale
+
+
+class GraphSpec:
+    """Incremental builder used by every generator.
+
+    Tracks the topological order so feedback edges can be marked with a
+    liveness-guaranteeing number of initial tokens automatically.
+    """
+
+    def __init__(self, name: str, rng: random.Random):
+        self.name = name
+        self.rng = rng
+        self.graph = CsdfGraph(name)
+        self.q: Dict[str, int] = {}
+        self.phases: Dict[str, int] = {}
+        self._order: Dict[str, int] = {}
+        self._edge_count = 0
+
+    def add_task(
+        self,
+        name: str,
+        q: int,
+        phases: int = 1,
+        durations: Optional[Sequence[int]] = None,
+        duration_range: Tuple[int, int] = (1, 10),
+    ) -> None:
+        if durations is None:
+            lo, hi = duration_range
+            durations = [self.rng.randint(lo, hi) for _ in range(phases)]
+        self.graph.add_task(Task(name, tuple(durations)))
+        self.q[name] = q
+        self.phases[name] = len(tuple(durations))
+        self._order[name] = len(self._order)
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        *,
+        rate_scale: int = 1,
+        tokens: Optional[int] = None,
+        iteration_margin: int = 1,
+    ) -> Buffer:
+        """Add a buffer between existing tasks.
+
+        ``tokens=None`` picks the liveness default: 0 for forward edges
+        (w.r.t. insertion order), ``iteration_margin`` full consumer
+        iterations for feedback edges.
+        """
+        i_total, o_total = balanced_rate_totals(
+            self.q[src], self.q[dst], rate_scale
+        )
+        production = split_total(self.rng, i_total, self.phases[src])
+        consumption = split_total(self.rng, o_total, self.phases[dst])
+        if tokens is None:
+            if self._order[src] < self._order[dst]:
+                tokens = 0
+            else:
+                tokens = iteration_margin * o_total * self.q[dst]
+        buffer = Buffer(
+            name=f"b{self._edge_count}_{src}_{dst}",
+            source=src,
+            target=dst,
+            production=production,
+            consumption=consumption,
+            initial_tokens=tokens,
+        )
+        self._edge_count += 1
+        self.graph.add_buffer(buffer)
+        return buffer
+
+    def build(self) -> CsdfGraph:
+        return self.graph
+
+
+def random_q_vector(
+    rng: random.Random,
+    count: int,
+    *,
+    max_q: int,
+    ensure_unit: bool = True,
+) -> List[int]:
+    """Per-task repetition values; a 1 keeps the overall gcd at 1."""
+    values = [rng.randint(1, max_q) for _ in range(count)]
+    if ensure_unit and count:
+        values[rng.randrange(count)] = 1
+    return values

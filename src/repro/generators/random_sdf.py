@@ -1,0 +1,168 @@
+"""Seeded random SDF categories mimicking Table 1's statistics.
+
+* :func:`mimic_dsp` — "MimicDSP": small SDF graphs (3–25 tasks) with
+  moderate rate heterogeneity, Σq up to ~10⁴;
+* :func:`large_hsdf` — "LgHSDF": small graphs (6–15 tasks) whose rates
+  make the **HSDF expansion** large (Σq up to ~2·10⁵) — the category
+  where symbolic execution is two orders of magnitude slower;
+* :func:`large_transient` — "LgTransient": homogeneous graphs (all rates
+  1, so Σq = task count, 181–300 tasks) engineered for long self-timed
+  transients: a slow global cycle fed by long token-starved chains.
+
+All generators are deterministic in their seed and live by construction
+(see :mod:`repro.generators._machinery`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.generators._machinery import GraphSpec, random_q_vector
+from repro.model.graph import CsdfGraph
+
+
+def random_connected_sdf(
+    seed: int,
+    *,
+    tasks: int,
+    max_q: int = 12,
+    extra_edge_ratio: float = 0.5,
+    feedback_edges: int = 1,
+    rate_scale_max: int = 3,
+    duration_range=(1, 15),
+    feedback_margin: int = 1,
+    name: Optional[str] = None,
+) -> CsdfGraph:
+    """A connected, consistent, live random SDF graph.
+
+    Backbone: a random spanning arborescence over a shuffled topological
+    order, plus ``extra_edge_ratio·tasks`` forward edges and
+    ``feedback_edges`` marked back edges closing throughput-relevant
+    cycles.
+    """
+    rng = random.Random(seed)
+    spec = GraphSpec(name or f"sdf_s{seed}", rng)
+    q_values = random_q_vector(rng, tasks, max_q=max_q)
+    for i, q in enumerate(q_values):
+        spec.add_task(f"t{i}", q, phases=1, duration_range=duration_range)
+
+    names = [f"t{i}" for i in range(tasks)]
+    for i in range(1, tasks):
+        parent = rng.randrange(i)
+        spec.connect(
+            names[parent], names[i], rate_scale=rng.randint(1, rate_scale_max)
+        )
+    extra = int(extra_edge_ratio * tasks)
+    for _ in range(extra):
+        i, j = rng.randrange(tasks), rng.randrange(tasks)
+        if i == j:
+            continue
+        src, dst = (names[min(i, j)], names[max(i, j)])
+        spec.connect(src, dst, rate_scale=rng.randint(1, rate_scale_max))
+    for _ in range(feedback_edges):
+        if tasks < 2:
+            break
+        j = rng.randrange(1, tasks)
+        i = rng.randrange(j)
+        spec.connect(names[j], names[i],
+                     rate_scale=rng.randint(1, rate_scale_max),
+                     iteration_margin=feedback_margin)
+    return spec.build()
+
+
+def mimic_dsp(seed: int) -> CsdfGraph:
+    """One MimicDSP instance (Table 1 row 2): 3–25 tasks, Σq ≲ 10⁴."""
+    rng = random.Random(seed * 2654435761 + 0x5D)
+    tasks = rng.randint(3, 25)
+    return random_connected_sdf(
+        seed * 7919 + 13,
+        tasks=tasks,
+        max_q=120,
+        extra_edge_ratio=0.4,
+        feedback_edges=rng.randint(1, 2),
+        rate_scale_max=3,
+        feedback_margin=2,
+        name=f"mimicdsp_{seed}",
+    )
+
+
+def large_hsdf(seed: int) -> CsdfGraph:
+    """One LgHSDF instance (Table 1 row 3): few tasks, huge expansion.
+
+    Rate heterogeneity is cranked up (coprime-ish q values up to ~60) so
+    Σq lands in the 10²–10⁵ range of the paper's category.
+    """
+    rng = random.Random(seed * 104729 + 7)
+    tasks = rng.randint(6, 15)
+    spec = GraphSpec(f"lghsdf_{seed}", rng)
+    primes = [1, 2, 3, 5, 7, 11, 13, 16, 27, 25, 49, 32]
+    q_values = [primes[rng.randrange(len(primes))] *
+                primes[rng.randrange(len(primes))] *
+                rng.choice([1, 2, 4, 8]) for _ in range(tasks)]
+    q_values[rng.randrange(tasks)] = 1
+    for i, q in enumerate(q_values):
+        spec.add_task(f"t{i}", q, phases=1, duration_range=(1, 8))
+    names = [f"t{i}" for i in range(tasks)]
+    for i in range(1, tasks):
+        spec.connect(names[rng.randrange(i)], names[i])
+    for _ in range(tasks // 2):
+        i, j = sorted(rng.sample(range(tasks), 2))
+        spec.connect(names[i], names[j])
+    # one slack-marked feedback cycle through the whole chain: the
+    # category's point is a *large expansion* (huge Σq), not a tight
+    # cycle, so utilization dominates and exact methods that expand pay
+    # the Σq bill while K-Iter certifies at K = 1.
+    spec.connect(names[tasks - 1], names[0], iteration_margin=3)
+    return spec.build()
+
+
+def large_transient(seed: int) -> CsdfGraph:
+    """One LgTransient instance (Table 1 row 4): HSDF, long transient.
+
+    Structure: a marked global ring (the steady-state bottleneck) with
+    long unmarked chains hanging between ring stations; tokens must
+    percolate the chains before the steady state emerges, which is what
+    makes as-soon-as-possible state search slow while the MCRP stays
+    easy.
+    """
+    rng = random.Random(seed * 15485863 + 101)
+    tasks = rng.randint(181, 300)
+    spec = GraphSpec(f"lgtransient_{seed}", rng)
+    for i in range(tasks):
+        spec.add_task(f"t{i}", 1, phases=1, duration_range=(1, 40))
+    names = [f"t{i}" for i in range(tasks)]
+    stations = max(3, tasks // 70)
+    station_ids = sorted(rng.sample(range(tasks), stations))
+    chain_members = [i for i in range(tasks) if i not in set(station_ids)]
+    # chains between consecutive stations
+    per_chain = max(1, len(chain_members) // stations)
+    cursor = 0
+    for s in range(stations):
+        a = station_ids[s]
+        b = station_ids[(s + 1) % stations]
+        chain = chain_members[cursor: cursor + per_chain]
+        cursor += per_chain
+        prev = a
+        for m in chain:
+            spec.connect(names[prev], names[m], tokens=0)
+            prev = m
+        # close into the next station; ring marking lives here
+        spec.connect(names[prev], names[b],
+                     tokens=2 if s == stations - 1 else 0)
+    # leftovers dangle off random stations
+    for m in chain_members[cursor:]:
+        spec.connect(names[rng.choice(station_ids)], names[m], tokens=0)
+    return spec.build()
+
+
+def mimic_dsp_suite(count: int = 100) -> List[CsdfGraph]:
+    return [mimic_dsp(i) for i in range(count)]
+
+
+def large_hsdf_suite(count: int = 100) -> List[CsdfGraph]:
+    return [large_hsdf(i) for i in range(count)]
+
+
+def large_transient_suite(count: int = 100) -> List[CsdfGraph]:
+    return [large_transient(i) for i in range(count)]

@@ -1,0 +1,32 @@
+"""Serialization: JSON round-trip, SDF3-compatible XML, Graphviz DOT.
+
+The JSON format is the library's native interchange; the XML reader and
+writer speak the subset of the SDF3 ``sdf``/``csdf`` schema needed to
+exchange graphs with SDF3-era tooling (the benchmark suites the paper
+evaluates are distributed in that format).
+"""
+
+from repro.io.json_format import graph_from_json, graph_to_json, load_graph, save_graph
+from repro.io.schedule_format import (
+    load_schedule,
+    save_schedule,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.io.sdf3_xml import read_sdf3_xml, write_sdf3_xml
+from repro.io.dot import constraint_graph_to_dot, graph_to_dot
+
+__all__ = [
+    "graph_from_json",
+    "graph_to_json",
+    "load_graph",
+    "save_graph",
+    "load_schedule",
+    "save_schedule",
+    "schedule_from_json",
+    "schedule_to_json",
+    "read_sdf3_xml",
+    "write_sdf3_xml",
+    "constraint_graph_to_dot",
+    "graph_to_dot",
+]

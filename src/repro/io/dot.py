@@ -1,0 +1,68 @@
+"""Graphviz DOT export — CSDF graphs and bi-valued constraint graphs.
+
+Used by the paper-figure example to regenerate Figure 5 (the bi-valued
+graph of the running example) in a renderable form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mcrp.graph import BiValuedGraph
+from repro.model.graph import CsdfGraph
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', r"\"")
+
+
+def graph_to_dot(graph: CsdfGraph) -> str:
+    """A CSDFG as DOT: tasks as boxes, buffers as labelled edges."""
+    lines = [f'digraph "{_escape(graph.name)}" {{', "  rankdir=LR;",
+             "  node [shape=box];"]
+    for t in graph.tasks():
+        label = f"{t.name}\\nd={list(t.durations)}"
+        lines.append(f'  "{_escape(t.name)}" [label="{label}"];')
+    for b in graph.buffers():
+        label = (
+            f"{list(b.production)} → {list(b.consumption)}"
+            + (f"\\nM0={b.initial_tokens}" if b.initial_tokens else "")
+        )
+        style = " style=dashed" if b.serialization else ""
+        lines.append(
+            f'  "{_escape(b.source)}" -> "{_escape(b.target)}" '
+            f'[label="{label}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def constraint_graph_to_dot(
+    bi_graph: BiValuedGraph,
+    *,
+    critical_arcs: Optional[set] = None,
+) -> str:
+    """A bi-valued graph as DOT with ``(L, H)`` edge labels (Figure 5).
+
+    ``critical_arcs`` (arc indices) are drawn bold red — pass the
+    critical circuit from a :class:`~repro.mcrp.graph.CycleResult` to
+    highlight it the way the paper's Figure 5 caption does.
+    """
+    critical_arcs = critical_arcs or set()
+    lines = ["digraph constraints {", "  node [shape=circle];"]
+    for idx, label in enumerate(bi_graph.labels):
+        if isinstance(label, tuple) and len(label) == 2:
+            text = f"{label[0]}{label[1]}"
+        else:
+            text = str(label)
+        lines.append(f'  n{idx} [label="{_escape(text)}"];')
+    for i in range(bi_graph.arc_count):
+        cost = bi_graph.arc_cost[i]
+        transit = bi_graph.arc_transit[i]
+        style = " color=red penwidth=2" if i in critical_arcs else ""
+        lines.append(
+            f"  n{bi_graph.arc_src[i]} -> n{bi_graph.arc_dst[i]} "
+            f'[label="({cost}, {transit})"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

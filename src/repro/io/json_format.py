@@ -1,0 +1,96 @@
+"""Native JSON serialization of CSDF graphs.
+
+Schema (version 1)::
+
+    {
+      "format": "repro-csdf",
+      "version": 1,
+      "name": "...",
+      "tasks":   [{"name": "A", "durations": [1, 2]}, ...],
+      "buffers": [{"name": "b", "source": "A", "target": "B",
+                   "production": [1, 0], "consumption": [2],
+                   "initial_tokens": 3}, ...]
+    }
+
+Deterministic field order so serialized graphs diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ModelError
+from repro.model.buffer import Buffer
+from repro.model.graph import CsdfGraph
+from repro.model.task import Task
+
+FORMAT_TAG = "repro-csdf"
+FORMAT_VERSION = 1
+
+
+def graph_to_json(graph: CsdfGraph) -> str:
+    """Serialize a graph to a JSON string."""
+    payload = {
+        "format": FORMAT_TAG,
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "tasks": [
+            {"name": t.name, "durations": list(t.durations)}
+            for t in graph.tasks()
+        ],
+        "buffers": [
+            {
+                "name": b.name,
+                "source": b.source,
+                "target": b.target,
+                "production": list(b.production),
+                "consumption": list(b.consumption),
+                "initial_tokens": b.initial_tokens,
+            }
+            for b in graph.buffers()
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def graph_from_json(text: str) -> CsdfGraph:
+    """Parse a graph from its JSON form (validating the schema tag)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"invalid JSON: {exc}") from exc
+    if payload.get("format") != FORMAT_TAG:
+        raise ModelError(
+            f"not a {FORMAT_TAG} document (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported version {payload.get('version')!r}"
+        )
+    graph = CsdfGraph(payload.get("name", "csdfg"))
+    for t in payload.get("tasks", []):
+        graph.add_task(Task(t["name"], tuple(t["durations"])))
+    for b in payload.get("buffers", []):
+        graph.add_buffer(
+            Buffer(
+                name=b["name"],
+                source=b["source"],
+                target=b["target"],
+                production=tuple(b["production"]),
+                consumption=tuple(b["consumption"]),
+                initial_tokens=b.get("initial_tokens", 0),
+            )
+        )
+    return graph
+
+
+def save_graph(graph: CsdfGraph, path: Union[str, Path]) -> None:
+    """Write a graph to a ``.json`` file."""
+    Path(path).write_text(graph_to_json(graph))
+
+
+def load_graph(path: Union[str, Path]) -> CsdfGraph:
+    """Read a graph from a ``.json`` file."""
+    return graph_from_json(Path(path).read_text())

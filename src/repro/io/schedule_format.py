@@ -1,0 +1,87 @@
+"""JSON serialization of K-periodic schedules.
+
+A certified schedule is the deliverable a runtime system consumes: the
+periodicity vector K, the exact rational period, per-task periods, and
+the start times of the periodic pattern. Rationals are stored as
+``[numerator, denominator]`` pairs so the round-trip stays exact.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ModelError
+from repro.kperiodic.schedule import KPeriodicSchedule
+
+FORMAT_TAG = "repro-kperiodic-schedule"
+FORMAT_VERSION = 1
+
+
+def _frac(value: Fraction) -> list:
+    return [value.numerator, value.denominator]
+
+
+def schedule_to_json(schedule: KPeriodicSchedule) -> str:
+    """Serialize a schedule (exact; see module docstring for encoding)."""
+    payload = {
+        "format": FORMAT_TAG,
+        "version": FORMAT_VERSION,
+        "K": dict(schedule.K),
+        "omega": _frac(schedule.omega),
+        "task_periods": {
+            t: _frac(p) for t, p in schedule.task_periods.items()
+        },
+        "starts": [
+            {
+                "task": task,
+                "phase": phase,
+                "beta": beta,
+                "time": _frac(value),
+            }
+            for (task, phase, beta), value in sorted(
+                schedule.starts.items()
+            )
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def schedule_from_json(text: str) -> KPeriodicSchedule:
+    """Parse a schedule serialized by :func:`schedule_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"invalid JSON: {exc}") from exc
+    if payload.get("format") != FORMAT_TAG:
+        raise ModelError(
+            f"not a {FORMAT_TAG} document "
+            f"(format={payload.get('format')!r})"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise ModelError(f"unsupported version {payload.get('version')!r}")
+    return KPeriodicSchedule(
+        K={t: int(k) for t, k in payload["K"].items()},
+        omega=Fraction(*payload["omega"]),
+        task_periods={
+            t: Fraction(*pair)
+            for t, pair in payload["task_periods"].items()
+        },
+        starts={
+            (e["task"], int(e["phase"]), int(e["beta"])):
+                Fraction(*e["time"])
+            for e in payload["starts"]
+        },
+    )
+
+
+def save_schedule(
+    schedule: KPeriodicSchedule, path: Union[str, Path]
+) -> None:
+    Path(path).write_text(schedule_to_json(schedule))
+
+
+def load_schedule(path: Union[str, Path]) -> KPeriodicSchedule:
+    return schedule_from_json(Path(path).read_text())

@@ -1,0 +1,181 @@
+"""SDF3-compatible XML reader/writer (subset).
+
+SDF3 [Stuijk et al. ACSD'06] distributes the benchmark graphs the paper
+evaluates as ``<sdf3 type="sdf">`` / ``<sdf3 type="csdf">`` documents.
+This module speaks the structural subset:
+
+* ``<actor name=..>`` with ``<port type="in|out" name=.. rate=..>`` —
+  CSDF rates are comma-separated phase lists;
+* ``<channel name=.. srcActor=.. srcPort=.. dstActor=.. dstPort=..
+  initialTokens=..>``;
+* actor execution times from the ``<actorProperties>`` section
+  (``<executionTime time="..."/>``, comma-separated for CSDF phases).
+
+Properties this library does not model (memory sizes, processor types)
+are ignored on read and omitted on write.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.exceptions import ModelError
+from repro.model.buffer import Buffer
+from repro.model.graph import CsdfGraph
+from repro.model.task import Task
+
+
+def _parse_rate(text: str) -> Tuple[int, ...]:
+    """An SDF3 rate: ``"3"`` or a CSDF phase list ``"1,0,2"``.
+
+    SDF3 also allows ``value*repeat`` shorthand (e.g. ``"1*4"``).
+    """
+    parts = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if "*" in chunk:
+            value, repeat = chunk.split("*", 1)
+            parts.extend([int(value)] * int(repeat))
+        else:
+            parts.append(int(chunk))
+    if not parts:
+        raise ModelError(f"empty rate specification {text!r}")
+    return tuple(parts)
+
+
+def read_sdf3_xml(source: Union[str, Path]) -> CsdfGraph:
+    """Parse an SDF3 document (path or XML string) into a graph."""
+    text = str(source)
+    if "\n" not in text and Path(text).exists():
+        text = Path(text).read_text()
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ModelError(f"invalid XML: {exc}") from exc
+    if root.tag != "sdf3":
+        raise ModelError(f"expected <sdf3> root, got <{root.tag}>")
+    app = root.find("applicationGraph")
+    if app is None:
+        raise ModelError("missing <applicationGraph>")
+    graph_el = None
+    for tag in ("csdf", "sdf"):
+        graph_el = app.find(tag)
+        if graph_el is not None:
+            break
+    if graph_el is None:
+        raise ModelError("missing <sdf>/<csdf> element")
+
+    # execution times live in the properties section
+    durations: Dict[str, Tuple[int, ...]] = {}
+    props = app.find(f"{graph_el.tag}Properties")
+    if props is not None:
+        for actor_props in props.findall("actorProperties"):
+            name = actor_props.get("actor")
+            exec_el = actor_props.find(".//executionTime")
+            if name and exec_el is not None and exec_el.get("time"):
+                durations[name] = _parse_rate(exec_el.get("time"))
+
+    # port rates per actor
+    port_rates: Dict[Tuple[str, str], Tuple[int, ...]] = {}
+    actor_phases: Dict[str, int] = {}
+    graph = CsdfGraph(graph_el.get("name", "sdf3graph"))
+    for actor in graph_el.findall("actor"):
+        name = actor.get("name")
+        if not name:
+            raise ModelError("actor without a name")
+        phases = 1
+        for port in actor.findall("port"):
+            rate = _parse_rate(port.get("rate", "1"))
+            port_rates[(name, port.get("name", ""))] = rate
+            phases = max(phases, len(rate))
+        dur = durations.get(name, tuple([1] * phases))
+        if len(dur) == 1 and phases > 1:
+            dur = tuple([dur[0]] * phases)
+        if len(dur) != phases:
+            raise ModelError(
+                f"actor {name!r}: {len(dur)} execution times for "
+                f"{phases} phases"
+            )
+        actor_phases[name] = phases
+        graph.add_task(Task(name, dur))
+
+    def full_rate(actor: str, port: str) -> Tuple[int, ...]:
+        rate = port_rates.get((actor, port))
+        if rate is None:
+            raise ModelError(f"channel references unknown port "
+                             f"{actor!r}.{port!r}")
+        phases = actor_phases[actor]
+        if len(rate) == 1 and phases > 1:
+            return tuple([rate[0]] * phases)
+        return rate
+
+    for channel in graph_el.findall("channel"):
+        src = channel.get("srcActor")
+        dst = channel.get("dstActor")
+        if not src or not dst:
+            raise ModelError("channel missing endpoints")
+        graph.add_buffer(
+            Buffer(
+                name=channel.get("name") or f"{src}_{dst}",
+                source=src,
+                target=dst,
+                production=full_rate(src, channel.get("srcPort", "")),
+                consumption=full_rate(dst, channel.get("dstPort", "")),
+                initial_tokens=int(channel.get("initialTokens", "0")),
+            )
+        )
+    return graph
+
+
+def write_sdf3_xml(graph: CsdfGraph, path: Union[str, Path, None] = None) -> str:
+    """Serialize a graph as an SDF3 document; optionally write to disk."""
+    kind = "sdf" if graph.is_sdf() else "csdf"
+    root = ET.Element("sdf3", {"type": kind, "version": "1.0"})
+    app = ET.SubElement(root, "applicationGraph", {"name": graph.name})
+    g_el = ET.SubElement(app, kind, {"name": graph.name, "type": graph.name})
+
+    out_ports: Dict[str, List[str]] = {t.name: [] for t in graph.tasks()}
+    in_ports: Dict[str, List[str]] = {t.name: [] for t in graph.tasks()}
+    actor_els = {}
+    for t in graph.tasks():
+        actor_els[t.name] = ET.SubElement(
+            g_el, "actor", {"name": t.name, "type": t.name}
+        )
+    for b in graph.buffers():
+        src_port = f"out_{b.name}"
+        dst_port = f"in_{b.name}"
+        ET.SubElement(
+            actor_els[b.source], "port",
+            {"type": "out", "name": src_port,
+             "rate": ",".join(map(str, b.production))},
+        )
+        ET.SubElement(
+            actor_els[b.target], "port",
+            {"type": "in", "name": dst_port,
+             "rate": ",".join(map(str, b.consumption))},
+        )
+        attrs = {
+            "name": b.name,
+            "srcActor": b.source,
+            "srcPort": src_port,
+            "dstActor": b.target,
+            "dstPort": dst_port,
+        }
+        if b.initial_tokens:
+            attrs["initialTokens"] = str(b.initial_tokens)
+        ET.SubElement(g_el, "channel", attrs)
+
+    props = ET.SubElement(app, f"{kind}Properties")
+    for t in graph.tasks():
+        actor_props = ET.SubElement(props, "actorProperties", {"actor": t.name})
+        proc = ET.SubElement(actor_props, "processor",
+                             {"type": "cpu", "default": "true"})
+        ET.SubElement(proc, "executionTime",
+                      {"time": ",".join(map(str, t.durations))})
+
+    text = ET.tostring(root, encoding="unicode")
+    if path is not None:
+        Path(path).write_text(text)
+    return text

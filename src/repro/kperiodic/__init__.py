@@ -1,0 +1,30 @@
+"""K-periodic scheduling and the K-Iter algorithm (the paper's §3).
+
+* :mod:`repro.kperiodic.expansion` — the ``G → G̃`` transformation that
+  reduces K-periodic scheduling of ``G`` to 1-periodic scheduling of ``G̃``
+  (Theorem 3).
+* :mod:`repro.kperiodic.solver` — minimum period for a fixed periodicity
+  vector K (Theorem 2 + MCRP).
+* :mod:`repro.kperiodic.optimality` — the critical-circuit optimality test
+  (Theorem 4).
+* :mod:`repro.kperiodic.kiter` — Algorithm 1: iterate K until optimal.
+* :mod:`repro.kperiodic.schedule` — concrete K-periodic schedules.
+"""
+
+from repro.kperiodic.expansion import expand_graph, expanded_repetition_vector
+from repro.kperiodic.kiter import KIterResult, throughput_kiter
+from repro.kperiodic.optimality import critical_qbar, optimality_test
+from repro.kperiodic.schedule import KPeriodicSchedule
+from repro.kperiodic.solver import KPeriodicResult, min_period_for_k
+
+__all__ = [
+    "expand_graph",
+    "expanded_repetition_vector",
+    "KIterResult",
+    "throughput_kiter",
+    "critical_qbar",
+    "optimality_test",
+    "KPeriodicSchedule",
+    "KPeriodicResult",
+    "min_period_for_k",
+]

@@ -1,0 +1,90 @@
+"""The K-expansion ``G → G̃`` (paper §3.2).
+
+For a periodicity vector ``K``, every task ``t`` of ``G̃`` has
+``ϕ̃(t) = K_t·ϕ(t)`` phases obtained by duplicating its duration vector
+``K_t`` times; every buffer duplicates its production (resp. consumption)
+vector ``K_t`` (resp. ``K_{t'}``) times; markings are unchanged. A
+1-periodic schedule of ``G̃`` *is* a K-periodic schedule of ``G``, with
+periods related by ``Ω_G = Ω_G̃ / lcm(K)`` (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.exceptions import ModelError
+from repro.model.buffer import Buffer
+from repro.model.graph import CsdfGraph
+from repro.model.task import Task
+from repro.utils.rational import lcm_list
+
+
+def _duplicate(vector: tuple, times: int) -> tuple:
+    """The paper's ``[v]^P`` vector-duplication operator."""
+    return tuple(vector) * times
+
+
+def validate_periodicity(graph: CsdfGraph, K: Mapping[str, int]) -> Dict[str, int]:
+    """Check that ``K`` maps every task to a positive integer."""
+    result: Dict[str, int] = {}
+    for t in graph.tasks():
+        k = K.get(t.name)
+        if k is None:
+            raise ModelError(f"periodicity vector misses task {t.name!r}")
+        if not isinstance(k, int) or k < 1:
+            raise ModelError(
+                f"periodicity K[{t.name!r}] must be a positive integer, got {k!r}"
+            )
+        result[t.name] = k
+    return result
+
+
+def expand_graph(graph: CsdfGraph, K: Mapping[str, int]) -> CsdfGraph:
+    """Build ``G̃`` for periodicity vector ``K``.
+
+    Examples
+    --------
+    >>> from repro.model import csdf
+    >>> g = csdf({"A": [1, 2]}, [("A", "A", [1, 0], [0, 1], 1)])
+    >>> expand_graph(g, {"A": 2}).task("A").durations
+    (1, 2, 1, 2)
+    """
+    K = validate_periodicity(graph, K)
+    expanded = CsdfGraph(f"{graph.name}~K")
+    for t in graph.tasks():
+        expanded.add_task(Task(t.name, _duplicate(t.durations, K[t.name])))
+    for b in graph.buffers():
+        expanded.add_buffer(
+            Buffer(
+                name=b.name,
+                source=b.source,
+                target=b.target,
+                production=_duplicate(b.production, K[b.source]),
+                consumption=_duplicate(b.consumption, K[b.target]),
+                initial_tokens=b.initial_tokens,
+                serialization=b.serialization,
+            )
+        )
+    return expanded
+
+
+def expanded_repetition_vector(
+    repetition: Mapping[str, int],
+    K: Mapping[str, int],
+) -> Dict[str, int]:
+    """The paper's ``q̃_t = q_t · lcm(K) / K_t`` repetition vector of ``G̃``.
+
+    Theorem 2's constraint denominators — and therefore the period
+    normalization of Theorem 3 — assume exactly this (possibly non-minimal)
+    repetition vector, so it is computed directly rather than re-derived
+    from ``G̃``.
+    """
+    lcm_k = lcm_list(K.values())
+    q_tilde: Dict[str, int] = {}
+    for t, q_t in repetition.items():
+        k_t = K[t]
+        scaled = q_t * lcm_k
+        if scaled % k_t != 0:  # pragma: no cover - lcm(K) is divisible by K_t
+            raise ModelError(f"q̃ not integral for task {t!r}")
+        q_tilde[t] = scaled // k_t
+    return q_tilde

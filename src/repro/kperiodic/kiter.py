@@ -1,0 +1,263 @@
+"""K-Iter (Algorithm 1): exact CSDFG throughput by iterated K-periodicity.
+
+Start from the 1-periodic relaxation (``K ≡ 1``); at each round, compute
+the minimum period for the current K and a critical circuit; if the
+circuit passes Theorem 4's test, the throughput ``lcm(K)/R(c)`` is exact
+and the algorithm stops, otherwise the periodicity of the circuit's tasks
+is raised (``K_t ← lcm(K_t, q̄_t)``) and the round repeats.
+
+Convergence: every round either terminates or strictly increases some
+``K_t``; a circuit whose tasks were updated passes the test whenever it is
+critical again, and K is bounded component-wise by ``q``, so the number of
+rounds is finite (empirically a handful — the whole point of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.consistency import repetition_vector
+from repro.exceptions import BudgetExceededError, DeadlockError, SolverError
+from repro.kperiodic.optimality import (
+    critical_qbar,
+    optimality_test,
+    update_periodicity,
+)
+from repro.kperiodic.schedule import KPeriodicSchedule
+from repro.kperiodic.solver import KPeriodicResult, min_period_for_k
+from repro.utils.timing import TimeBudget
+
+
+@dataclass
+class KIterRound:
+    """Trace of one K-Iter round (for reporting and the ablation benches).
+
+    ``omega is None`` marks a round whose K admitted *no* K-periodic
+    schedule (infeasible circuit — K was escalated along it).
+    """
+
+    K: Dict[str, int]
+    omega: Optional[Fraction]
+    critical_tasks: Set[str]
+    passed: bool
+    graph_nodes: int
+    graph_arcs: int
+
+
+@dataclass
+class KIterResult:
+    """Final outcome of K-Iter.
+
+    ``throughput`` is the *exact maximal* throughput of the graph
+    (Theorem 4 certificate); ``None`` encodes an unbounded throughput
+    (every duration on every critical cycle is 0).
+    """
+
+    period: Fraction
+    K: Dict[str, int]
+    critical_tasks: Set[str]
+    rounds: List[KIterRound] = field(default_factory=list)
+    schedule: Optional[KPeriodicSchedule] = None
+
+    @property
+    def throughput(self) -> Optional[Fraction]:
+        if self.period == 0:
+            return None
+        return Fraction(1, 1) / self.period
+
+    @property
+    def iteration_count(self) -> int:
+        return len(self.rounds)
+
+
+def throughput_kiter(
+    graph,
+    *,
+    engine: str = "ratio-iteration",
+    build_schedule: bool = False,
+    max_rounds: int = 100_000,
+    time_budget: Optional[float] = None,
+    initial_k: Optional[Dict[str, int]] = None,
+    update_policy: str = "lcm",
+) -> KIterResult:
+    """Exact maximum throughput of a consistent CSDFG via K-Iter.
+
+    Parameters
+    ----------
+    graph:
+        A consistent CSDFG (liveness is established as a side effect: a
+        deadlocked graph raises :class:`~repro.exceptions.DeadlockError`
+        at the first round).
+    engine:
+        MCRP engine passed through to the fixed-K solver.
+    build_schedule:
+        Extract the certified K-periodic schedule of the final round
+        (costs one extra longest-path pass).
+    max_rounds:
+        Safety cap on rounds (the theoretical bound — the number of
+        elementary circuits — is astronomically larger than any observed
+        round count).
+    time_budget:
+        Optional wall-clock budget in seconds
+        (:class:`~repro.exceptions.BudgetExceededError` on exhaustion) —
+        used by the benchmark harness for timeout rows.
+    initial_k:
+        Starting periodicity vector (defaults to all-ones). Passing ``q``
+        reproduces the classical exact-but-huge expansion in one round.
+    update_policy:
+        ``"lcm"`` — Algorithm 1's update ``K_t ← lcm(K_t, q̄_t)``
+        (default); ``"full-q"`` — jump critical-circuit tasks straight to
+        ``q_t`` (fewer rounds, bigger expansions; ablation A2 in
+        DESIGN.md quantifies the trade).
+
+    Examples
+    --------
+    >>> from repro.model import sdf
+    >>> g = sdf({"A": 1, "B": 1},
+    ...         [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 1)])
+    >>> throughput_kiter(g).period
+    Fraction(2, 1)
+    """
+    q = repetition_vector(graph)
+    K: Dict[str, int] = dict(initial_k) if initial_k else {t: 1 for t in q}
+    budget = TimeBudget(time_budget, label="K-Iter")
+    rounds: List[KIterRound] = []
+    infeasible_rounds = 0
+
+    for _ in range(max_rounds):
+        budget.check()
+        try:
+            result: KPeriodicResult = min_period_for_k(
+                graph, K, engine=engine, build_schedule=False, repetition=q
+            )
+        except DeadlockError as exc:
+            infeasible_rounds += 1
+            if infeasible_rounds >= 3 and any(K[t] < q[t] for t in q):
+                # Tightly-bounded graphs can hide dozens of distinct
+                # infeasible circuits; discovering them one MCRP solve at
+                # a time costs more than one full-q round. Record the
+                # escalation and go straight to the exact expansion.
+                rounds.append(
+                    KIterRound(
+                        K=dict(K), omega=None,
+                        critical_tasks=set(exc.critical_tasks or ()),
+                        passed=False, graph_nodes=0, graph_arcs=0,
+                    )
+                )
+                K = dict(q)
+                continue
+            K = _escalate_infeasible(graph, q, K, exc, rounds)
+            continue
+        if result.omega == 0:
+            # No constraining circuit at all: unbounded throughput is
+            # trivially optimal for any K.
+            rounds.append(
+                KIterRound(dict(K), result.omega, set(), True,
+                           result.graph_nodes, result.graph_arcs)
+            )
+            return _finalize(graph, q, K, result, rounds, build_schedule,
+                             engine)
+        passed, qbar = optimality_test(q, K, result.critical_tasks)
+        rounds.append(
+            KIterRound(
+                K=dict(K),
+                omega=result.omega,
+                critical_tasks=set(result.critical_tasks),
+                passed=passed,
+                graph_nodes=result.graph_nodes,
+                graph_arcs=result.graph_arcs,
+            )
+        )
+        if passed:
+            return _finalize(graph, q, K, result, rounds, build_schedule,
+                             engine)
+        if update_policy == "lcm":
+            K = update_periodicity(K, qbar)
+        elif update_policy == "full-q":
+            K = dict(K)
+            for t in result.critical_tasks:
+                K[t] = q[t]
+        else:
+            raise SolverError(
+                f"unknown update_policy {update_policy!r} "
+                "(choose 'lcm' or 'full-q')"
+            )
+    raise SolverError(f"K-Iter exceeded {max_rounds} rounds")
+
+
+def _escalate_infeasible(
+    graph,
+    q: Dict[str, int],
+    K: Dict[str, int],
+    exc: DeadlockError,
+    rounds: List[KIterRound],
+) -> Dict[str, int]:
+    """Raise K along a circuit that admits no K-periodic schedule.
+
+    An infeasible circuit is "infinitely critical". The update jumps its
+    tasks straight to full repetition (``K_t = q_t``): intermediate K
+    values along a genuinely tight circuit almost always stay infeasible
+    (measured on the bounded Table 2 graphs — dozens of wasted rounds),
+    and at ``K_t = q_t`` the circuit's constraints coincide with the full
+    expansion's, so a *still*-infeasible circuit over full-q tasks is a
+    genuine deadlock — re-raised with its certificate. Exactness is
+    unaffected: the final feasible round still certifies optimality via
+    Theorem 4.
+    """
+    tasks = exc.critical_tasks
+    if not tasks:
+        raise exc  # no certificate to escalate along
+    rounds.append(
+        KIterRound(
+            K=dict(K),
+            omega=None,
+            critical_tasks=set(tasks),
+            passed=False,
+            graph_nodes=0,
+            graph_arcs=0,
+        )
+    )
+    if all(K[t] == q[t] for t in tasks):
+        raise exc
+    updated = dict(K)
+    for t in tasks:
+        updated[t] = q[t]
+    return updated
+
+
+def _finalize(
+    graph,
+    q: Dict[str, int],
+    K: Dict[str, int],
+    result: KPeriodicResult,
+    rounds: List[KIterRound],
+    build_schedule: bool,
+    engine: str,
+) -> KIterResult:
+    schedule = None
+    if build_schedule and result.omega > 0:
+        final = min_period_for_k(
+            graph, K, engine=engine, build_schedule=True, repetition=q
+        )
+        schedule = final.schedule
+    return KIterResult(
+        period=result.omega,
+        K=dict(K),
+        critical_tasks=set(result.critical_tasks),
+        rounds=rounds,
+        schedule=schedule,
+    )
+
+
+def throughput_via_full_expansion(graph, *, engine: str = "ratio-iteration"):
+    """Exact throughput with ``K = q`` in one shot (test oracle).
+
+    This is the classical "repetition-vector expansion" bound the paper
+    uses as the known-exact extreme; its constraint graph has
+    ``Σ_t q_t·ϕ(t)`` nodes, so only use it on small graphs.
+    """
+    q = repetition_vector(graph)
+    return min_period_for_k(graph, q, engine=engine, build_schedule=False,
+                            repetition=q)

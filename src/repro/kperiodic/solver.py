@@ -1,0 +1,251 @@
+"""Minimum period of a K-periodic schedule (Theorem 2 + MCRP).
+
+For a fixed periodicity vector K the minimum feasible period of a
+K-periodic schedule of ``G`` equals ``λ*/lcm(K)``, where ``λ*`` is the
+maximum cycle ratio of the bi-valued constraint graph of the expansion
+``G̃`` (paper §3.1–3.3). The solver returns the exact period, a critical
+circuit (needed by the optimality test), and a concrete feasible schedule
+built from the longest-path potentials at ``λ*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.consistency import repetition_vector
+from repro.analysis.constraint_graph import build_constraint_graph
+from repro.exceptions import DeadlockError, SolverError
+from repro.kperiodic.expansion import (
+    expand_graph,
+    expanded_repetition_vector,
+    validate_periodicity,
+)
+from repro.kperiodic.schedule import KPeriodicSchedule
+from repro.mcrp.decompose import max_cycle_ratio_sccs
+from repro.mcrp.graph import BiValuedGraph, CycleResult
+from repro.mcrp.howard import max_cycle_ratio_howard
+from repro.mcrp.lawler import max_cycle_ratio_lawler
+from repro.mcrp.ratio_iteration import max_cycle_ratio
+from repro.utils.rational import lcm_list
+
+_ENGINES = {
+    "ratio-iteration": max_cycle_ratio,
+    "howard": max_cycle_ratio_howard,
+    "lawler": max_cycle_ratio_lawler,
+}
+
+
+@dataclass
+class KPeriodicResult:
+    """Outcome of a fixed-K minimum-period computation.
+
+    Attributes
+    ----------
+    omega:
+        Normalized minimum period ``Ω_G = λ*/lcm(K)`` (0 when the
+        constraint graph is acyclic, i.e. the throughput is unbounded).
+    omega_expanded:
+        ``Ω_G̃ = λ*`` before normalization.
+    critical_tasks:
+        Tasks traversed by the critical circuit (input of Theorem 4).
+    critical_nodes:
+        The circuit's ``(task, expanded phase)`` labels, in order.
+    schedule:
+        A feasible K-periodic schedule achieving ``omega`` (``None`` when
+        ``build_schedule=False`` was requested or Ω = 0).
+    graph_nodes / graph_arcs:
+        Size of the bi-valued constraint graph (for the tables/ablations).
+    """
+
+    K: Dict[str, int]
+    omega: Fraction
+    omega_expanded: Fraction
+    critical_tasks: Set[str] = field(default_factory=set)
+    critical_nodes: List[Tuple[str, int]] = field(default_factory=list)
+    schedule: Optional[KPeriodicSchedule] = None
+    graph_nodes: int = 0
+    graph_arcs: int = 0
+    engine_iterations: int = 0
+
+    @property
+    def throughput(self) -> Optional[Fraction]:
+        """``1/Ω_G``; ``None`` encodes unbounded throughput."""
+        if self.omega == 0:
+            return None
+        return Fraction(1, 1) / self.omega
+
+
+def min_period_for_k(
+    graph,
+    K: Mapping[str, int],
+    *,
+    engine: str = "ratio-iteration",
+    build_schedule: bool = True,
+    repetition: Optional[Dict[str, int]] = None,
+) -> KPeriodicResult:
+    """Exact minimum period of a K-periodic schedule of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        A consistent CSDFG.
+    K:
+        Periodicity vector (positive integer per task). ``K ≡ 1`` gives
+        the 1-periodic method of [Bodin et al. 2013]; ``K = q`` gives the
+        exact throughput directly (at exponential-size cost).
+    engine:
+        MCRP engine: ``"ratio-iteration"`` (exact, default), ``"howard"``
+        (float-accelerated, exactly certified) or ``"lawler"``.
+    build_schedule:
+        Also extract start times (longest-path potentials at λ*).
+
+    Raises
+    ------
+    DeadlockError
+        If no feasible period exists (the graph deadlocks).
+    InconsistentGraphError
+        If the graph has no repetition vector.
+    """
+    solve = _ENGINES.get(engine)
+    if solve is None:
+        raise SolverError(
+            f"unknown MCRP engine {engine!r}; choose from {sorted(_ENGINES)}"
+        )
+    K = validate_periodicity(graph, K)
+    if repetition is None:
+        repetition = repetition_vector(graph)
+    lcm_k = lcm_list(K.values())
+
+    expanded = expand_graph(graph, K)
+    q_tilde = expanded_repetition_vector(repetition, K)
+    bi_graph, node_index = build_constraint_graph(
+        expanded, q_tilde, serialize=True
+    )
+    # Warm start: the serialization self-loop of task t is a real cycle of
+    # the constraint graph with exact ratio lcm(K)·q_t·Σ_p d(t_p), so the
+    # max over tasks is a certified lower bound on λ* (huge head start —
+    # utilization usually lands within a few jumps of the answer).
+    utilization = max(
+        (repetition[t.name] * t.iteration_duration for t in graph.tasks()),
+        default=0,
+    )
+    # Back the bound off by 1/2 so the utilization cycle itself is still a
+    # *strictly* positive cycle at the starting λ — the engine then jumps
+    # onto it immediately instead of converging without a certificate.
+    lower = Fraction(utilization * lcm_k) - Fraction(1, 2)
+    try:
+        if engine == "lawler":
+            result: CycleResult = solve(bi_graph)
+        else:
+            # solve per strongly connected component with champion
+            # pruning (acyclic regions cost nothing, components that
+            # cannot beat the best ratio are rejected by one oracle
+            # probe); the utilization bound seeds the champion.
+            result = max_cycle_ratio_sccs(
+                bi_graph, engine=solve, lower_bound=lower
+            )
+    except DeadlockError as exc:
+        # Annotate the infeasible circuit with task names so K-Iter can
+        # escalate K along it (a small-K infeasibility is not necessarily
+        # a graph deadlock — see exceptions.DeadlockError).
+        if exc.cycle_nodes and exc.critical_tasks is None:
+            exc.critical_tasks = {
+                bi_graph.labels[n][0] for n in exc.cycle_nodes
+            }
+        raise
+
+    if result.is_acyclic:
+        omega_expanded = Fraction(0)
+        critical_nodes: List[Tuple[str, int]] = []
+    else:
+        omega_expanded = result.ratio
+        critical_nodes = [bi_graph.labels[n] for n in result.cycle_nodes]
+
+    omega = omega_expanded / lcm_k
+    out = KPeriodicResult(
+        K=dict(K),
+        omega=omega,
+        omega_expanded=omega_expanded,
+        critical_tasks={task for task, _phase in critical_nodes},
+        critical_nodes=critical_nodes,
+        graph_nodes=bi_graph.node_count,
+        graph_arcs=bi_graph.arc_count,
+        engine_iterations=result.iterations,
+    )
+    if build_schedule and omega > 0:
+        out.schedule = _extract_schedule(
+            graph, K, repetition, bi_graph, node_index, omega_expanded, lcm_k
+        )
+    return out
+
+
+def _extract_schedule(
+    graph,
+    K: Dict[str, int],
+    repetition: Dict[str, int],
+    bi_graph: BiValuedGraph,
+    node_index: Dict[Tuple[str, int], int],
+    omega_expanded: Fraction,
+    lcm_k: int,
+) -> KPeriodicSchedule:
+    """Start times from exact longest-path potentials at ``λ = Ω_G̃``.
+
+    At λ*, the weights ``w(e) = L(e) − λ*·H(e)`` admit no positive cycle,
+    so the longest-path fixpoint from an all-zero source exists; it is the
+    earliest K-periodic schedule for that period.
+    """
+    weights = [
+        bi_graph.arc_cost[i] - omega_expanded * bi_graph.arc_transit[i]
+        for i in range(bi_graph.arc_count)
+    ]
+    dist = _longest_path_potentials(bi_graph, weights)
+
+    omega = omega_expanded / lcm_k
+    task_periods: Dict[str, Fraction] = {}
+    starts: Dict[Tuple[str, int, int], Fraction] = {}
+    for t in graph.tasks():
+        name = t.name
+        k_t = K[name]
+        task_periods[name] = omega * k_t / repetition[name]
+        phi = t.phase_count
+        for expanded_phase in range(1, k_t * phi + 1):
+            beta, p = divmod(expanded_phase - 1, phi)
+            node = node_index[(name, expanded_phase)]
+            starts[(name, p + 1, beta + 1)] = dist[node]
+    return KPeriodicSchedule(
+        K=dict(K), omega=omega, task_periods=task_periods, starts=starts
+    )
+
+
+def _longest_path_potentials(
+    bi_graph: BiValuedGraph,
+    weights: List[Fraction],
+) -> List[Fraction]:
+    """Bellman–Ford longest paths from an implicit zero source (exact)."""
+    from collections import deque
+
+    n = bi_graph.node_count
+    dist: List[Fraction] = [Fraction(0)] * n
+    in_queue = [True] * n
+    relaxations = [0] * n
+    queue = deque(range(n))
+    while queue:
+        u = queue.popleft()
+        in_queue[u] = False
+        du = dist[u]
+        for arc in bi_graph.out_arcs(u):
+            v = bi_graph.arc_dst[arc]
+            candidate = du + weights[arc]
+            if candidate > dist[v]:
+                dist[v] = candidate
+                relaxations[v] += 1
+                if relaxations[v] > n + 1:  # pragma: no cover - certified λ*
+                    raise SolverError(
+                        "positive cycle at certified λ*: engine bug"
+                    )
+                if not in_queue[v]:
+                    in_queue[v] = True
+                    queue.append(v)
+    return dist

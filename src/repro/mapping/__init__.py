@@ -1,0 +1,33 @@
+"""Multiprocessor mapping: throughput under resource constraints.
+
+The paper's industrial context (the Kalray MPPA toolchain) evaluates
+dataflow applications *mapped* onto processors: tasks sharing a
+processor execute in a static order, which constrains throughput beyond
+the pure dataflow dependencies. This package models that as a **pure
+graph transformation** — each processor becomes a zero-duration
+scheduler task whose cyclo-static grant/release channels enforce the
+static order — so every analysis in the library (K-Iter, symbolic,
+bounds, schedules) applies unchanged to mapped graphs.
+
+* :mod:`repro.mapping.partition` — the :class:`Mapping` model
+  (task→processor assignment + per-processor static order).
+* :mod:`repro.mapping.transform` — the scheduler-task encoding.
+* :mod:`repro.mapping.heuristics` — admissible-order construction and
+  greedy load balancing.
+"""
+
+from repro.mapping.partition import Mapping
+from repro.mapping.transform import apply_mapping
+from repro.mapping.heuristics import (
+    admissible_static_order,
+    greedy_load_balance,
+    throughput_under_mapping,
+)
+
+__all__ = [
+    "Mapping",
+    "apply_mapping",
+    "admissible_static_order",
+    "greedy_load_balance",
+    "throughput_under_mapping",
+]

@@ -1,0 +1,125 @@
+"""The mapping model: assignment + per-processor static orders.
+
+A :class:`Mapping` assigns every task to a processor and fixes, per
+processor, a *static order*: a sequence of task iterations executed
+round-robin. A valid order for processor ``P`` contains exactly ``q_t``
+occurrences of every task mapped to ``P`` (one PASS — periodic
+admissible sequential schedule — per graph iteration); admissibility
+(deadlock freedom) additionally depends on token availability and is
+checked against the transformed graph by
+:func:`repro.mapping.heuristics.throughput_under_mapping`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import ModelError
+from repro.model.graph import CsdfGraph
+
+
+@dataclass
+class Mapping:
+    """Task→processor assignment with per-processor static orders.
+
+    Attributes
+    ----------
+    assignment:
+        Maps each task name to a processor name.
+    orders:
+        Maps each processor name to its firing sequence (task names).
+    granularity:
+        ``"iteration"`` — each order entry is one full task iteration
+        (``q_t`` occurrences per task per round); ``"phase"`` — each
+        entry is a single phase firing (``q_t·ϕ(t)`` occurrences).
+        Phase granularity is strictly more permissive: some live CSDFGs
+        (the paper's Figure 2 among them!) admit *no* iteration-granular
+        sequential order because their liveness depends on interleaving
+        phases of different tasks.
+    """
+
+    assignment: Dict[str, str] = field(default_factory=dict)
+    orders: Dict[str, List[str]] = field(default_factory=dict)
+    granularity: str = "iteration"
+
+    def processors(self) -> List[str]:
+        seen: List[str] = []
+        for proc in self.assignment.values():
+            if proc not in seen:
+                seen.append(proc)
+        return seen
+
+    def tasks_on(self, processor: str) -> List[str]:
+        return [t for t, p in self.assignment.items() if p == processor]
+
+    def validate(self, graph: CsdfGraph, repetition: Dict[str, int]) -> None:
+        """Structural validation (PASS multiplicities, coverage).
+
+        Raises :class:`ModelError` on: unmapped/unknown tasks, orders
+        referencing foreign tasks, or occurrence counts differing from
+        the granularity's requirement (``q_t`` iterations or ``q_t·ϕ(t)``
+        phase firings per round).
+        """
+        if self.granularity not in ("iteration", "phase"):
+            raise ModelError(
+                f"unknown granularity {self.granularity!r} "
+                "(use 'iteration' or 'phase')"
+            )
+        graph_tasks = set(graph.task_names())
+        mapped = set(self.assignment)
+        if mapped != graph_tasks:
+            missing = graph_tasks - mapped
+            extra = mapped - graph_tasks
+            raise ModelError(
+                f"mapping does not cover the graph exactly "
+                f"(missing={sorted(missing)}, unknown={sorted(extra)})"
+            )
+        for proc in self.processors():
+            order = self.orders.get(proc)
+            if order is None:
+                raise ModelError(f"processor {proc!r} has no static order")
+            on_proc = set(self.tasks_on(proc))
+            counts = Counter(order)
+            if set(counts) != on_proc:
+                raise ModelError(
+                    f"order of processor {proc!r} covers {sorted(counts)} "
+                    f"but its tasks are {sorted(on_proc)}"
+                )
+            for t in on_proc:
+                expected = repetition[t]
+                if self.granularity == "phase":
+                    expected *= graph.task(t).phase_count
+                if counts[t] != expected:
+                    raise ModelError(
+                        f"order of {proc!r} fires {t!r} {counts[t]}× per "
+                        f"round but the {self.granularity} granularity "
+                        f"requires {expected}"
+                    )
+
+    @staticmethod
+    def single_processor(
+        graph: CsdfGraph,
+        order: List[str],
+        processor: str = "cpu0",
+    ) -> "Mapping":
+        """Everything on one processor with the given order."""
+        return Mapping(
+            assignment={t: processor for t in graph.task_names()},
+            orders={processor: list(order)},
+        )
+
+    @staticmethod
+    def fully_parallel(graph: CsdfGraph) -> "Mapping":
+        """One processor per task (no resource constraint at all)."""
+        from repro.analysis.consistency import repetition_vector
+
+        q = repetition_vector(graph)
+        assignment = {}
+        orders = {}
+        for i, t in enumerate(graph.task_names()):
+            proc = f"cpu{i}"
+            assignment[t] = proc
+            orders[proc] = [t] * q[t]
+        return Mapping(assignment=assignment, orders=orders)

@@ -1,0 +1,135 @@
+"""Encode a mapping as a graph transformation (scheduler tasks).
+
+For a processor ``P`` with static order ``σ = [s_1 … s_m]`` (``m = Σ q_t``
+over its tasks) the transformation adds:
+
+* a zero-duration scheduler task ``__sched_P`` with ``m`` phases — phase
+  ``j`` "runs" occurrence ``σ_j``;
+* a **grant** buffer ``__sched_P → t`` per mapped task ``t``: scheduler
+  phase ``j`` produces 1 token iff ``σ_j = t``; ``t`` consumes 1 token at
+  its first phase (a task iteration needs the processor before it
+  starts);
+* a **release** buffer ``t → __sched_P``: ``t`` produces 1 token at its
+  last phase; scheduler phase ``j`` consumes 1 token of ``σ_{j-1}``'s
+  release (it hands the processor over only when the previous occupant
+  finished). The wrap-around consumption (phase 1 waiting on ``σ_m``)
+  is primed with one initial token so the first round can start.
+
+The scheduler's repetition value is 1 (it fires ``m`` phases per graph
+iteration = one full round of the order), so the transformed graph is
+consistent by construction; liveness depends on whether the order is
+*admissible* for the token distribution — exactly what the standard
+analyses decide on the transformed graph.
+
+Tasks alone on their processor are left untouched (the scheduler would
+only re-state their serialization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.consistency import repetition_vector
+from repro.exceptions import ModelError
+from repro.mapping.partition import Mapping
+from repro.model.buffer import Buffer
+from repro.model.graph import CsdfGraph
+from repro.model.task import Task
+
+
+def apply_mapping(
+    graph: CsdfGraph,
+    mapping: Mapping,
+    *,
+    repetition: Optional[Dict[str, int]] = None,
+) -> CsdfGraph:
+    """The mapped graph (original tasks/buffers + scheduler machinery).
+
+    Examples
+    --------
+    >>> from repro.model import sdf
+    >>> from repro.mapping import Mapping
+    >>> g = sdf({"A": 1, "B": 1}, [("A", "B", 1, 1, 0)])
+    >>> m = Mapping.single_processor(g, ["A", "B"])
+    >>> mapped = apply_mapping(g, m)
+    >>> mapped.has_task("__sched_cpu0")
+    True
+    """
+    if repetition is None:
+        repetition = repetition_vector(graph)
+    mapping.validate(graph, repetition)
+
+    mapped = graph.copy(f"{graph.name}@{len(mapping.processors())}proc")
+    for proc in mapping.processors():
+        order = mapping.orders[proc]
+        tasks_here = mapping.tasks_on(proc)
+        if len(tasks_here) == 1 and len(set(order)) == 1:
+            continue  # serialization already enforces a 1-task order
+        _add_scheduler(mapped, graph, proc, order, mapping.granularity)
+    return mapped
+
+
+def _add_scheduler(
+    mapped: CsdfGraph,
+    original: CsdfGraph,
+    processor: str,
+    order: List[str],
+    granularity: str,
+) -> None:
+    """Scheduler task + grant/release channels for one processor.
+
+    Iteration granularity: a grant covers one full task iteration
+    (claimed at phase 1, released at phase ϕ). Phase granularity: every
+    phase firing claims and releases its own grant (rates all-ones), so
+    the order can interleave phases of different tasks.
+    """
+    m = len(order)
+    sched_name = f"__sched_{processor}"
+    if mapped.has_task(sched_name):
+        raise ModelError(f"duplicate scheduler task {sched_name!r}")
+    mapped.add_task(Task(sched_name, tuple([0] * m)))
+
+    members = []
+    for t in order:
+        if t not in members:
+            members.append(t)
+    for t in members:
+        phi = original.task(t).phase_count
+        grant_production = tuple(
+            1 if occupant == t else 0 for occupant in order
+        )
+        if granularity == "phase":
+            grant_consumption = tuple([1] * phi)
+            release_production = tuple([1] * phi)
+        else:
+            grant_consumption = tuple(
+                1 if p == 0 else 0 for p in range(phi)
+            )
+            release_production = tuple(
+                1 if p == phi - 1 else 0 for p in range(phi)
+            )
+        mapped.add_buffer(
+            Buffer(
+                name=f"__grant_{processor}_{t}",
+                source=sched_name,
+                target=t,
+                production=grant_production,
+                consumption=grant_consumption,
+                initial_tokens=0,
+            )
+        )
+        # release consumed by the scheduler phase *after* each occurrence
+        release_consumption = [0] * m
+        for j, occupant in enumerate(order):
+            if occupant == t:
+                release_consumption[(j + 1) % m] += 1
+        mapped.add_buffer(
+            Buffer(
+                name=f"__release_{processor}_{t}",
+                source=t,
+                target=sched_name,
+                production=release_production,
+                consumption=tuple(release_consumption),
+                initial_tokens=1 if order[m - 1] == t else 0,
+            )
+        )

@@ -1,0 +1,36 @@
+"""Max-plus algebra over exact rationals.
+
+The max-plus view of dataflow (de Groote et al. — the paper's reference
+[6]): a live HSDF graph evolves as ``x_{k+1} = A ⊗ x_k`` where ``x_k``
+holds the k-th firing times and ``A`` is the one-token-delay transition
+matrix; the throughput is the reciprocal of A's max-plus **eigenvalue**
+(= maximum cycle mean of A's precedence graph), and a corresponding
+eigenvector is a self-timed steady-state firing offset profile.
+
+Combined with the CSDF→HSDF unfolding this yields a fourth independent
+exact throughput engine, cross-checked against K-Iter in the tests.
+
+* :mod:`repro.maxplus.matrix` — dense max-plus matrices (ε = −∞,
+  ⊕ = max, ⊗ = +) over ``Fraction``.
+* :mod:`repro.maxplus.spectral` — eigenvalue (via the MCRP engines) and
+  eigenvector (via the Kleene star of the λ-normalized matrix).
+* :mod:`repro.maxplus.from_graph` — transition matrices from marked
+  bi-valued graphs / unfolded CSDFGs.
+"""
+
+from repro.maxplus.matrix import EPSILON, MaxPlusMatrix
+from repro.maxplus.spectral import eigenvalue, eigenvector, spectral_analysis
+from repro.maxplus.from_graph import (
+    state_matrix_from_marked_graph,
+    throughput_maxplus,
+)
+
+__all__ = [
+    "EPSILON",
+    "MaxPlusMatrix",
+    "eigenvalue",
+    "eigenvector",
+    "spectral_analysis",
+    "state_matrix_from_marked_graph",
+    "throughput_maxplus",
+]

@@ -1,0 +1,124 @@
+"""Max-plus state matrices from marked precedence graphs.
+
+A live marked precedence graph (arcs ``(u, v, L, m)``: v's k-th firing
+waits for u's (k−m)-th plus L) evolves as a first-order max-plus
+recurrence after two classical rewrites:
+
+* **zero-delay folding** — arcs with m = 0 form a DAG (a 0-delay cycle
+  with positive cost would be a deadlock), so
+  ``x_k = C ⊗ x_k ⊕ D ⊗ x_{k−1}`` closes to ``x_k = C* ⊗ D ⊗ x_{k−1}``;
+* **delay-chain expansion** — an arc with m ≥ 2 routes through m−1
+  auxiliary unit-delay nodes.
+
+``throughput_maxplus`` composes this with the CSDF→HSDF unfolding: the
+state matrix's max-plus eigenvalue is exactly the graph's minimum
+period — de Groote-style max-plus throughput analysis [6] as a fourth
+independent exact engine (cross-checked against K-Iter in the tests).
+
+Dense-matrix cost is Θ(n³) with ``n = Σ_t q_t·ϕ(t)`` plus chain nodes:
+an *analysis pearl* for moderate graphs, not the production path (that
+is K-Iter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ModelError
+from repro.maxplus.matrix import MaxPlusMatrix
+from repro.maxplus.spectral import eigenvalue as _eigenvalue
+from repro.mcrp.graph import BiValuedGraph
+
+
+def state_matrix_from_marked_graph(
+    graph: BiValuedGraph,
+) -> Tuple[MaxPlusMatrix, List]:
+    """``A`` with ``x_k = A ⊗ x_{k−1}`` from a marked bi-valued graph.
+
+    Arc transits must be non-negative integers (delay tokens). Returns
+    the matrix and its row labels (original labels + synthesized chain
+    nodes).
+    """
+    labels = list(graph.labels)
+    zero_arcs: List[Tuple[int, int, Fraction]] = []
+    unit_arcs: List[Tuple[int, int, Fraction]] = []
+    extra = 0
+    for idx in range(graph.arc_count):
+        u = graph.arc_src[idx]
+        v = graph.arc_dst[idx]
+        cost = graph.arc_cost[idx]
+        transit = graph.arc_transit[idx]
+        if transit.denominator != 1 or transit < 0:
+            raise ModelError(
+                "state matrix needs integer non-negative delays "
+                f"(arc {idx}: {transit})"
+            )
+        m = int(transit)
+        if m == 0:
+            zero_arcs.append((u, v, cost))
+        elif m == 1:
+            unit_arcs.append((u, v, cost))
+        else:
+            # u → c_1 → … → c_{m−1} → v, one delay per hop
+            prev = u
+            for hop in range(m - 1):
+                node = len(labels)
+                labels.append(("__delay", idx, hop))
+                unit_arcs.append((prev, node, Fraction(0)))
+                prev = node
+                extra += 1
+            unit_arcs.append((prev, v, cost))
+
+    n = len(labels)
+    c_rows = [[None] * n for _ in range(n)]
+    d_rows = [[None] * n for _ in range(n)]
+    for u, v, cost in zero_arcs:
+        if c_rows[v][u] is None or cost > c_rows[v][u]:
+            c_rows[v][u] = cost
+    for u, v, cost in unit_arcs:
+        if d_rows[v][u] is None or cost > d_rows[v][u]:
+            d_rows[v][u] = cost
+    c_matrix = MaxPlusMatrix(c_rows)
+    d_matrix = MaxPlusMatrix(d_rows)
+    try:
+        c_star = c_matrix.kleene_star()
+    except ValueError as exc:
+        raise ModelError(
+            "zero-delay subgraph has a positive cycle (deadlock); "
+            "no max-plus state matrix exists"
+        ) from exc
+    return c_star @ d_matrix, labels
+
+
+@dataclass
+class MaxPlusThroughput:
+    """Outcome of the max-plus throughput method."""
+
+    period: Fraction
+    matrix_size: int
+
+    @property
+    def throughput(self) -> Optional[Fraction]:
+        if self.period == 0:
+            return None
+        return Fraction(1, 1) / self.period
+
+
+def throughput_maxplus(graph) -> MaxPlusThroughput:
+    """Exact CSDF throughput via unfolding + max-plus eigenvalue.
+
+    Examples
+    --------
+    >>> from repro.generators.paper import figure2_graph
+    >>> throughput_maxplus(figure2_graph()).period
+    Fraction(13, 1)
+    """
+    from repro.baselines.unfolding import unfold_csdf_to_hsdf
+
+    hsdf, _index = unfold_csdf_to_hsdf(graph, reduced=True)
+    matrix, labels = state_matrix_from_marked_graph(hsdf)
+    lam = _eigenvalue(matrix)
+    period = lam if lam is not None else Fraction(0)
+    return MaxPlusThroughput(period=period, matrix_size=len(labels))

@@ -1,0 +1,160 @@
+"""Dense max-plus matrices over exact rationals.
+
+The max-plus semiring: carrier ``ℚ ∪ {ε}`` with ``ε = −∞``,
+addition ``a ⊕ b = max(a, b)`` (neutral ε), multiplication
+``a ⊗ b = a + b`` (neutral 0, absorbing ε). Matrices multiply the usual
+way with (⊕, ⊗) in place of (+, ×).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Union
+
+Entry = Optional[Fraction]  # None encodes ε = −∞
+EPSILON: Entry = None
+
+
+def _oplus(a: Entry, b: Entry) -> Entry:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a >= b else b
+
+
+def _otimes(a: Entry, b: Entry) -> Entry:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+class MaxPlusMatrix:
+    """A square max-plus matrix (entries Fraction or ε).
+
+    Examples
+    --------
+    >>> a = MaxPlusMatrix([[0, None], [3, 1]])
+    >>> (a @ a).rows[1][0]
+    Fraction(4, 1)
+    """
+
+    def __init__(self, rows: Sequence[Sequence[Union[Entry, int]]]):
+        n = len(rows)
+        self.rows: List[List[Entry]] = []
+        for row in rows:
+            if len(row) != n:
+                raise ValueError("matrix must be square")
+            self.rows.append([
+                None if v is None else Fraction(v) for v in row
+            ])
+        self.n = n
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity(n: int) -> "MaxPlusMatrix":
+        return MaxPlusMatrix([
+            [Fraction(0) if i == j else None for j in range(n)]
+            for i in range(n)
+        ])
+
+    @staticmethod
+    def epsilon_matrix(n: int) -> "MaxPlusMatrix":
+        return MaxPlusMatrix([[None] * n for _ in range(n)])
+
+    def __matmul__(self, other: "MaxPlusMatrix") -> "MaxPlusMatrix":
+        if self.n != other.n:
+            raise ValueError("dimension mismatch")
+        n = self.n
+        result = [[None] * n for _ in range(n)]
+        other_rows = other.rows
+        for i in range(n):
+            left = self.rows[i]
+            out = result[i]
+            for k in range(n):
+                lv = left[k]
+                if lv is None:
+                    continue
+                right = other_rows[k]
+                for j in range(n):
+                    rv = right[j]
+                    if rv is None:
+                        continue
+                    cand = lv + rv
+                    if out[j] is None or cand > out[j]:
+                        out[j] = cand
+        return MaxPlusMatrix(result)
+
+    def oplus(self, other: "MaxPlusMatrix") -> "MaxPlusMatrix":
+        if self.n != other.n:
+            raise ValueError("dimension mismatch")
+        return MaxPlusMatrix([
+            [_oplus(a, b) for a, b in zip(ra, rb)]
+            for ra, rb in zip(self.rows, other.rows)
+        ])
+
+    def add_scalar(self, scalar: Fraction) -> "MaxPlusMatrix":
+        """``scalar ⊗ A`` (adds to every finite entry)."""
+        return MaxPlusMatrix([
+            [None if v is None else v + scalar for v in row]
+            for row in self.rows
+        ])
+
+    def power(self, k: int) -> "MaxPlusMatrix":
+        if k < 0:
+            raise ValueError("negative power")
+        result = MaxPlusMatrix.identity(self.n)
+        base = self
+        while k:
+            if k & 1:
+                result = result @ base
+            base = base @ base
+            k >>= 1
+        return result
+
+    def kleene_star(self) -> "MaxPlusMatrix":
+        """``A* = I ⊕ A ⊕ A² ⊕ … ⊕ A^{n−1}``.
+
+        Well-defined (finite) iff A has no positive-weight cycle;
+        raises ``ValueError`` otherwise (detected by a further power
+        still improving).
+        """
+        total = MaxPlusMatrix.identity(self.n)
+        term = MaxPlusMatrix.identity(self.n)
+        for _ in range(self.n - 1):
+            term = term @ self
+            total = total.oplus(term)
+        # one more multiplication must not improve anything
+        probe = total.oplus(total @ self)
+        if probe.rows != total.rows:
+            raise ValueError(
+                "Kleene star diverges (positive cycle in the matrix)"
+            )
+        return total
+
+    def apply(self, vector: Sequence[Entry]) -> List[Entry]:
+        """``A ⊗ v``."""
+        if len(vector) != self.n:
+            raise ValueError("dimension mismatch")
+        out: List[Entry] = []
+        for row in self.rows:
+            acc: Entry = None
+            for a, v in zip(row, vector):
+                acc = _oplus(acc, _otimes(a, v))
+            out.append(acc)
+        return out
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MaxPlusMatrix) and self.rows == other.rows
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        def cell(v: Entry) -> str:
+            return "ε" if v is None else str(v)
+
+        body = "; ".join(
+            " ".join(cell(v) for v in row) for row in self.rows
+        )
+        return f"MaxPlusMatrix[{body}]"

@@ -1,0 +1,111 @@
+"""Max-plus spectral theory: eigenvalue and eigenvectors.
+
+For an irreducible max-plus matrix A (strongly connected precedence
+graph) the eigenproblem ``A ⊗ v = λ ⊗ v`` has the unique eigenvalue
+
+    λ = maximum cycle mean of A's precedence graph
+
+(the arc ``j → i`` with weight ``A[i][j]``), and eigenvectors are the
+columns of ``(A_λ)* = (−λ ⊗ A)*`` taken at *critical* nodes (nodes on a
+maximum-mean cycle). Both facts are classical (Baccelli et al.,
+"Synchronization and Linearity"); the implementation reuses the exact
+MCRP engines for λ and the Kleene star for the eigenvector, so
+everything stays rational and certified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.exceptions import SolverError
+from repro.maxplus.matrix import Entry, MaxPlusMatrix
+from repro.mcrp.graph import BiValuedGraph
+from repro.mcrp.ratio_iteration import max_cycle_ratio
+
+
+def _precedence_graph(matrix: MaxPlusMatrix):
+    """Arc j→i of weight A[i][j], unit transit (cycle ratio = mean).
+
+    Costs must be non-negative for the ratio engine; shift all finite
+    entries up by a common offset and remember it (cycle means shift by
+    exactly the offset, so the caller subtracts it back).
+    """
+    finite = [
+        v for row in matrix.rows for v in row if v is not None
+    ]
+    offset = min(finite) if finite else Fraction(0)
+    if offset > 0:
+        offset = Fraction(0)
+    g = BiValuedGraph(matrix.n)
+    for i, row in enumerate(matrix.rows):
+        for j, v in enumerate(row):
+            if v is not None:
+                g.add_arc(j, i, v - offset, 1)
+    return g, offset
+
+
+def eigenvalue(matrix: MaxPlusMatrix) -> Optional[Fraction]:
+    """The max-plus eigenvalue (max cycle mean); None for acyclic A.
+
+    Examples
+    --------
+    >>> eigenvalue(MaxPlusMatrix([[None, 2], [4, None]]))
+    Fraction(3, 1)
+    """
+    graph, offset = _precedence_graph(matrix)
+    result = max_cycle_ratio(graph)
+    if result.ratio is None:
+        return None
+    return result.ratio + offset
+
+
+@dataclass
+class SpectralResult:
+    """Eigenvalue, an eigenvector, and the critical nodes."""
+
+    eigenvalue: Fraction
+    eigenvector: List[Entry]
+    critical_nodes: List[int]
+
+    def residual(self, matrix: MaxPlusMatrix) -> List[Entry]:
+        """``(A ⊗ v) − λ − v`` per finite component (all 0 iff exact)."""
+        image = matrix.apply(self.eigenvector)
+        out: List[Entry] = []
+        for img, v in zip(image, self.eigenvector):
+            if img is None or v is None:
+                out.append(None)
+            else:
+                out.append(img - self.eigenvalue - v)
+        return out
+
+
+def spectral_analysis(matrix: MaxPlusMatrix) -> SpectralResult:
+    """Eigenvalue + eigenvector (requires a cycle; see module docs).
+
+    For irreducible matrices the returned vector is finite everywhere
+    and satisfies ``A ⊗ v = λ ⊗ v`` exactly (pinned by tests); for
+    reducible matrices components unreachable from the critical nodes
+    stay ε.
+    """
+    graph, offset = _precedence_graph(matrix)
+    result = max_cycle_ratio(graph)
+    if result.ratio is None:
+        raise SolverError("acyclic matrix has no eigenvalue")
+    lam = result.ratio + offset
+    normalized = matrix.add_scalar(-lam)
+    star = normalized.kleene_star()
+    critical = sorted(set(result.cycle_nodes))
+    column = critical[0]
+    vector = [star.rows[i][column] for i in range(matrix.n)]
+    return SpectralResult(
+        eigenvalue=lam,
+        eigenvector=vector,
+        critical_nodes=critical,
+    )
+
+
+def eigenvector(matrix: MaxPlusMatrix) -> List[Entry]:
+    """Convenience wrapper returning just the eigenvector."""
+    return spectral_analysis(matrix).eigenvector

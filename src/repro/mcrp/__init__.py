@@ -1,0 +1,38 @@
+"""Maximum Cost-to-time Ratio Problem (MCRP) solvers.
+
+Given a directed graph whose arcs carry a *cost* ``L(e)`` and a *transit
+time* ``H(e)``, the maximum cycle ratio is
+
+    ``λ* = max over elementary circuits c of  Σ L(e) / Σ H(e)``.
+
+The paper (§3.3) reduces the minimum-period linear program of Theorem 2 to
+an MCRP: ``Ω* = λ*`` and a critical circuit certifies the value.
+
+Engines
+-------
+* :mod:`repro.mcrp.ratio_iteration` — the default *exact* engine: ascending
+  cycle-ratio iteration with arbitrary-precision rationals; always returns
+  a critical circuit and detects infeasibility (deadlock).
+* :mod:`repro.mcrp.howard` — Howard policy iteration in floats with an
+  exact certification pass (fast path for large graphs).
+* :mod:`repro.mcrp.lawler` — Lawler binary search (reference/cross-check).
+* :mod:`repro.mcrp.karp` — Karp's algorithm for the unit-transit special
+  case (maximum cycle mean, used by the HSDF expansion baseline).
+"""
+
+from repro.mcrp.graph import BiValuedGraph, CycleResult
+from repro.mcrp.ratio_iteration import max_cycle_ratio
+from repro.mcrp.karp import max_cycle_mean
+from repro.mcrp.howard import max_cycle_ratio_howard
+from repro.mcrp.lawler import max_cycle_ratio_lawler
+from repro.mcrp.decompose import max_cycle_ratio_sccs
+
+__all__ = [
+    "BiValuedGraph",
+    "CycleResult",
+    "max_cycle_ratio",
+    "max_cycle_mean",
+    "max_cycle_ratio_howard",
+    "max_cycle_ratio_lawler",
+    "max_cycle_ratio_sccs",
+]

@@ -1,0 +1,188 @@
+"""Howard policy iteration for the maximum cycle ratio (fast path).
+
+Policy iteration runs in floats for speed; the value it converges to is
+then **certified exactly**: the policy cycle's exact rational ratio is a
+true cycle ratio (hence a valid lower bound), and the exact ascending
+ratio iteration is started from it. On well-behaved graphs the ascending
+phase terminates after a single no-op Bellman-Ford pass, so the overall
+cost is Howard's float iterations plus one exact certification sweep.
+
+Howard's method assumes cycles have positive transit; graphs violating
+that (deadlocks) are caught by the exact phase, never mis-certified.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.mcrp.graph import BiValuedGraph, CycleResult
+from repro.mcrp.ratio_iteration import max_cycle_ratio
+
+_EPS = 1e-9
+
+
+def max_cycle_ratio_howard(
+    graph: BiValuedGraph,
+    *,
+    max_policy_iterations: int = 200,
+    lower_bound: Optional[Fraction] = None,
+) -> CycleResult:
+    """Exact maximum cycle ratio, accelerated by a float Howard phase.
+
+    Semantics are identical to :func:`repro.mcrp.max_cycle_ratio` (the
+    exact engine always has the last word); only performance differs.
+    ``lower_bound`` must be a certified cycle ratio (or any sound lower
+    bound); it is combined with Howard's own hint.
+    """
+    hint = _howard_float_hint(graph, max_policy_iterations)
+    if lower_bound is not None and (hint is None or lower_bound > hint):
+        hint = Fraction(lower_bound)
+    result = max_cycle_ratio(graph, lower_bound=hint)
+    return result
+
+
+def _howard_float_hint(
+    graph: BiValuedGraph,
+    max_policy_iterations: int,
+) -> Optional[Fraction]:
+    """Best *exact* cycle ratio reachable by float policy iteration.
+
+    Returns None when no usable policy cycle is found (e.g. acyclic
+    graphs); any returned value is the exact ratio of a real cycle and is
+    therefore a sound lower bound for the ascending exact engine.
+    """
+    n = graph.node_count
+    if n == 0 or graph.arc_count == 0:
+        return None
+    cost_f, transit_f = graph.float_weights()
+    out_arcs = [graph.out_arcs(v) for v in range(n)]
+
+    # Initial policy: for each node with successors, arc of max cost.
+    policy: List[Optional[int]] = [None] * n
+    for v in range(n):
+        if out_arcs[v]:
+            policy[v] = max(out_arcs[v], key=lambda a: cost_f[a])
+
+    best_exact: Optional[Fraction] = None
+    lam = 0.0
+    for _ in range(max_policy_iterations):
+        cycle = _policy_cycle(graph, policy)
+        if cycle is None:
+            break
+        num = sum(graph.arc_cost[a] for a in cycle)
+        den = sum(graph.arc_transit[a] for a in cycle)
+        if den <= 0:
+            # Deadlock-shaped policy cycle: leave it to the exact engine.
+            break
+        exact = Fraction(num, den)
+        if best_exact is None or exact > best_exact:
+            best_exact = exact
+        lam = float(exact)
+        values = _policy_values(graph, policy, cycle, lam, cost_f, transit_f)
+        improved = False
+        for v in range(n):
+            best_arc = policy[v]
+            if best_arc is None:
+                continue
+            best_val = (
+                cost_f[best_arc]
+                - lam * transit_f[best_arc]
+                + values[graph.arc_dst[best_arc]]
+            )
+            for a in out_arcs[v]:
+                cand = cost_f[a] - lam * transit_f[a] + values[graph.arc_dst[a]]
+                if cand > best_val + _EPS:
+                    best_val = cand
+                    policy[v] = a
+                    improved = True
+        if not improved:
+            break
+    return best_exact
+
+
+def _policy_cycle(
+    graph: BiValuedGraph,
+    policy: List[Optional[int]],
+) -> Optional[List[int]]:
+    """Any cycle of the functional policy graph (arc indices), or None."""
+    n = graph.node_count
+    state = [0] * n  # 0 unvisited, 1 in current chain, 2 done
+    for root in range(n):
+        if state[root] != 0:
+            continue
+        chain: List[int] = []
+        node = root
+        while True:
+            if state[node] == 1:
+                # Found a cycle: trim the chain prefix before `node`.
+                idx = chain.index(node)
+                return [policy[v] for v in chain[idx:]]  # type: ignore[misc]
+            if state[node] == 2 or policy[node] is None:
+                break
+            state[node] = 1
+            chain.append(node)
+            node = graph.arc_dst[policy[node]]  # type: ignore[index]
+        for v in chain:
+            state[v] = 2
+    return None
+
+
+def _policy_values(
+    graph: BiValuedGraph,
+    policy: List[Optional[int]],
+    cycle: List[int],
+    lam: float,
+    cost_f: List[float],
+    transit_f: List[float],
+) -> List[float]:
+    """Node potentials for the current policy at ratio ``lam``.
+
+    Nodes on the reference cycle get value 0 at the cycle entry and are
+    propagated along the cycle; every node whose policy path reaches the
+    evaluated region is solved by reverse topological relaxation
+    (iterative, bounded passes — floats only need to be good enough to
+    steer the policy, exactness comes later).
+    """
+    n = graph.node_count
+    values = [0.0] * n
+    known = [False] * n
+    node = graph.arc_src[cycle[0]]
+    values[node] = 0.0
+    known[node] = True
+    acc = 0.0
+    for arc in cycle[:-1]:
+        acc += cost_f[arc] - lam * transit_f[arc]
+        nxt = graph.arc_dst[arc]
+        values[nxt] = acc
+        known[nxt] = True
+    # Propagate to the rest of the policy tree by chasing each node's
+    # successor chain once (the policy graph is functional, so this is
+    # O(n) total): unwind the visited chain when a known value — or a
+    # foreign cycle, valued 0 as a neutral anchor — is reached.
+    for start in range(n):
+        if known[start] or policy[start] is None:
+            continue
+        chain = []
+        on_chain = set()
+        v = start
+        while (
+            not known[v] and policy[v] is not None and v not in on_chain
+        ):
+            chain.append(v)
+            on_chain.add(v)
+            v = graph.arc_dst[policy[v]]  # type: ignore[index]
+        if not known[v]:
+            # dead end or a second policy cycle: anchor at 0.
+            values[v] = 0.0
+            known[v] = True
+            if chain and chain[-1] == v:
+                chain.pop()
+        for u in reversed(chain):
+            arc = policy[u]
+            values[u] = (
+                cost_f[arc] - lam * transit_f[arc]
+                + values[graph.arc_dst[arc]]
+            )
+            known[u] = True
+    return values

@@ -1,0 +1,135 @@
+"""Karp's algorithm: exact maximum cycle *mean* (unit transit times).
+
+Used by the HSDF expansion baseline, where every precedence arc has
+``H = 1`` and the throughput bound is a maximum cycle mean rather than a
+general ratio. Karp's theorem:
+
+    ``λ* = max_v min_{0 ≤ k < n} (D_n(v) − D_k(v)) / (n − k)``
+
+with ``D_k(v)`` the maximum cost of a ``k``-arc walk ending at ``v``
+(``−∞`` when none exists), computed from a virtual source connected to all
+nodes with zero cost.
+
+The implementation is exact (integer/Fraction arithmetic) and recovers a
+critical cycle from the ``D_n`` predecessor walk. Complexity Θ(nm).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.exceptions import SolverError
+from repro.mcrp.graph import BiValuedGraph, CycleResult
+
+
+def max_cycle_mean(graph: BiValuedGraph) -> CycleResult:
+    """Maximum mean-cost cycle of ``graph`` (transit values are ignored).
+
+    Returns ``ratio=None`` for acyclic graphs. The certificate cycle's
+    *mean* equals the returned ratio (``Σ L / cycle length``).
+    """
+    n = graph.node_count
+    if n == 0 or graph.arc_count == 0:
+        return CycleResult(ratio=None)
+    out_arcs = [graph.out_arcs(v) for v in range(n)]
+    costs = graph.arc_cost
+    NEG = None  # sentinel for -infinity
+
+    # D[k][v]: best k-arc walk cost ending at v; pred[k][v]: arc used.
+    prev: List[Optional[Fraction]] = [Fraction(0)] * n
+    table: List[List[Optional[Fraction]]] = [prev]
+    preds: List[List[Optional[int]]] = [[None] * n]
+    for _ in range(n):
+        cur: List[Optional[Fraction]] = [NEG] * n
+        pred_row: List[Optional[int]] = [None] * n
+        for u in range(n):
+            du = prev[u]
+            if du is NEG:
+                continue
+            for arc in out_arcs[u]:
+                v = graph.arc_dst[arc]
+                cand = du + costs[arc]
+                if cur[v] is NEG or cand > cur[v]:
+                    cur[v] = cand
+                    pred_row[v] = arc
+        table.append(cur)
+        preds.append(pred_row)
+        prev = cur
+
+    best_ratio: Optional[Fraction] = None
+    best_node: Optional[int] = None
+    d_n = table[n]
+    for v in range(n):
+        if d_n[v] is NEG:
+            continue
+        worst: Optional[Fraction] = None
+        for k in range(n):
+            if table[k][v] is NEG:
+                continue
+            mean = Fraction(d_n[v] - table[k][v], n - k)
+            if worst is None or mean < worst:
+                worst = mean
+        if worst is not None and (best_ratio is None or worst > best_ratio):
+            best_ratio = worst
+            best_node = v
+    if best_ratio is None:
+        return CycleResult(ratio=None)
+
+    cycle_arcs = _recover_cycle(graph, preds, best_node, best_ratio)
+    return CycleResult(
+        ratio=best_ratio,
+        cycle_arcs=cycle_arcs,
+        cycle_nodes=[graph.arc_src[a] for a in cycle_arcs],
+        iterations=n,
+    )
+
+
+def _recover_cycle(
+    graph: BiValuedGraph,
+    preds: List[List[Optional[int]]],
+    end_node: int,
+    target_mean: Fraction,
+) -> List[int]:
+    """Extract a cycle of mean ``target_mean`` from the critical n-arc walk.
+
+    The walk has n arcs over n nodes, so it contains cycles; Karp's
+    argument guarantees *some* cycle on it is critical. Non-critical
+    cycles found along the way are contracted out of the walk and the scan
+    continues on the shortened walk.
+    """
+    n = graph.node_count
+    walk_arcs: List[int] = []
+    node = end_node
+    for k in range(n, 0, -1):
+        arc = preds[k][node]
+        assert arc is not None
+        walk_arcs.append(arc)
+        node = graph.arc_src[arc]
+    walk_arcs.reverse()  # forward order, starting from the walk's origin
+
+    # stack of (node, incoming arc) pairs; position index per node.
+    position = {node: 0}
+    stack_nodes: List[int] = [node]
+    stack_arcs: List[Optional[int]] = [None]
+    for arc in walk_arcs:
+        cursor = graph.arc_dst[arc]
+        if cursor in position:
+            start = position[cursor]
+            segment = [a for a in stack_arcs[start + 1:] if a is not None]
+            segment.append(arc)
+            total = sum(graph.arc_cost[a] for a in segment)
+            if Fraction(total, len(segment)) == target_mean:
+                return segment
+            # Contract the non-critical cycle and keep scanning.
+            for dropped in stack_nodes[start + 1:]:
+                del position[dropped]
+            del stack_nodes[start + 1:]
+            del stack_arcs[start + 1:]
+        else:
+            position[cursor] = len(stack_nodes)
+            stack_nodes.append(cursor)
+            stack_arcs.append(arc)
+    raise SolverError(  # pragma: no cover - contradicts Karp's theorem
+        "critical walk contained no cycle of critical mean"
+    )

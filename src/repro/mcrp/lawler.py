@@ -1,0 +1,107 @@
+"""Lawler's binary search for the maximum cycle ratio (reference engine).
+
+Kept primarily as an *independent implementation* to cross-check the
+ascending ratio iteration in the test suite: a disagreement between the
+two engines on any input is a bug by construction.
+
+The search maintains exact rational bounds. Whenever the positive-cycle
+oracle fires at the midpoint, the found cycle's exact ratio tightens the
+lower bound (a jump, not just `lo = mid`), so termination follows the same
+finite-cycle-ratio argument as the ascending engine; the upper bound comes
+from bisection. The search stops when the interval is narrower than the
+minimal gap ``1/B²`` between distinct cycle ratios (``B`` bounds cycle
+transit numerators), then snaps to the certified lower bound.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.exceptions import DeadlockError, SolverError
+from repro.mcrp.bellman import (
+    ScaledGraph,
+    certify_zero_ratio,
+    find_positive_cycle,
+)
+from repro.mcrp.graph import BiValuedGraph, CycleResult
+
+
+def max_cycle_ratio_lawler(graph: BiValuedGraph) -> CycleResult:
+    """Exact maximum cycle ratio by rational binary search.
+
+    Same contract as :func:`repro.mcrp.max_cycle_ratio` (including
+    :class:`DeadlockError` on infeasible constraint cycles).
+    """
+    if any(c < 0 for c in graph.arc_cost):
+        raise SolverError("Lawler search requires non-negative arc costs")
+    scaled = ScaledGraph(graph)
+    if graph.node_count == 0 or graph.arc_count == 0:
+        return CycleResult(ratio=None)
+
+    transit_bound = sum(abs(t) for t in scaled.transit)
+    cost_bound = sum(scaled.cost)
+    if transit_bound == 0:
+        # No cycle can have positive transit: any positive-cost cycle (or
+        # in fact any cost at all on a cycle) is a deadlock; otherwise the
+        # graph imposes no period bound.
+        offender = find_positive_cycle(scaled, 0, 1)
+        if offender is not None:
+            raise DeadlockError(
+                "constraint cycle with positive cost and zero transit: "
+                "no feasible period exists (deadlock)",
+                cycle_nodes=[graph.arc_src[a] for a in offender],
+            )
+        return CycleResult(ratio=None)
+
+    lo = Fraction(0)
+    lo_cycle = None
+    hi = Fraction(cost_bound + 1, 1)  # strictly above any cycle ratio
+    gap = Fraction(1, transit_bound * transit_bound)
+    iterations = 0
+    while hi - lo > gap:
+        iterations += 1
+        mid = (lo + hi) / 2
+        cycle = find_positive_cycle(scaled, mid.numerator, mid.denominator)
+        if cycle is None:
+            hi = mid
+            continue
+        cost, transit = scaled.cycle_ratio(cycle)
+        if transit <= 0:
+            raise DeadlockError(
+                "constraint cycle with positive cost and non-positive "
+                "transit: no feasible period exists (deadlock)",
+                cycle_nodes=[graph.arc_src[a] for a in cycle],
+            )
+        ratio = Fraction(cost, transit)
+        if ratio <= lo:  # pragma: no cover - bisection safety
+            raise SolverError("cycle ratio did not improve the lower bound")
+        lo = ratio
+        lo_cycle = cycle
+
+    # λ* lies in [lo, hi) and distinct ratios differ by ≥ gap, so λ* = lo
+    # provided lo is a genuine cycle ratio; certify there is nothing above.
+    if find_positive_cycle(scaled, lo.numerator, lo.denominator) is not None:
+        raise SolverError(  # pragma: no cover - contradicts gap argument
+            "positive cycle above the converged lower bound"
+        )
+    if lo_cycle is None:
+        if lo != 0:  # pragma: no cover - lo only moves via cycles
+            raise SolverError("lower bound moved without a certificate")
+        cert = certify_zero_ratio(scaled)
+        if cert is None:
+            return CycleResult(ratio=None, iterations=iterations)
+        return CycleResult(
+            ratio=Fraction(0),
+            cycle_arcs=list(cert),
+            cycle_nodes=[graph.arc_src[a] for a in cert],
+            iterations=iterations,
+        )
+    return CycleResult(
+        ratio=lo,
+        cycle_arcs=list(lo_cycle),
+        cycle_nodes=[graph.arc_src[a] for a in lo_cycle],
+        iterations=iterations,
+    )
+
+

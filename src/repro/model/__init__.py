@@ -1,0 +1,27 @@
+"""CSDF/SDF graph data model.
+
+A :class:`~repro.model.graph.CsdfGraph` is a directed multigraph whose nodes
+are :class:`~repro.model.task.Task` objects (each decomposed into phases with
+integer durations) and whose arcs are :class:`~repro.model.buffer.Buffer`
+objects (unbounded FIFO channels with cyclo-static production/consumption
+rate vectors and an initial marking).
+
+A Synchronous Dataflow Graph (SDF) is the 1-phase special case; the
+:func:`~repro.model.builder.sdf` builder produces it directly.
+"""
+
+from repro.model.buffer import Buffer
+from repro.model.graph import CsdfGraph
+from repro.model.task import Task
+from repro.model.builder import GraphBuilder, build_graph, csdf, sdf, hsdf
+
+__all__ = [
+    "Buffer",
+    "CsdfGraph",
+    "Task",
+    "GraphBuilder",
+    "build_graph",
+    "csdf",
+    "sdf",
+    "hsdf",
+]

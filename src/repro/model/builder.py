@@ -1,0 +1,180 @@
+"""Convenience builders for CSDF/SDF graphs.
+
+Three entry points:
+
+* :func:`csdf` / :func:`sdf` / :func:`hsdf` — build a graph from plain dicts
+  and tuples in one call (used pervasively by tests and examples);
+* :class:`GraphBuilder` — an incremental fluent builder;
+* :func:`build_graph` — the generic form both delegate to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.exceptions import ModelError
+from repro.model.buffer import Buffer
+from repro.model.graph import CsdfGraph
+from repro.model.task import Task
+
+Rates = Union[int, Sequence[int]]
+# (source, target, production, consumption, initial_tokens)
+EdgeSpec = Tuple[str, str, Rates, Rates, int]
+
+
+def _as_rate_vector(rates: Rates, phases: int, what: str) -> Tuple[int, ...]:
+    """Normalize an int or sequence into a phase-length rate tuple.
+
+    An int ``r`` means "rate r at every phase", matching SDF shorthand.
+    """
+    if isinstance(rates, int):
+        return tuple([rates] * phases)
+    vec = tuple(int(r) for r in rates)
+    if len(vec) != phases:
+        raise ModelError(
+            f"{what}: rate vector {list(vec)} has {len(vec)} entries, "
+            f"expected {phases}"
+        )
+    return vec
+
+
+def build_graph(
+    name: str,
+    tasks: Mapping[str, Rates],
+    edges: Iterable[EdgeSpec],
+) -> CsdfGraph:
+    """Build a graph from a task→durations mapping and edge tuples.
+
+    Parameters
+    ----------
+    tasks:
+        Maps each task name to its phase durations. An int means a
+        single-phase task with that duration.
+    edges:
+        Tuples ``(src, dst, production, consumption, initial_tokens)``.
+        Rate entries may be ints (replicated over phases) or sequences.
+
+    Examples
+    --------
+    >>> g = build_graph(
+    ...     "pipeline",
+    ...     {"A": 1, "B": [1, 2]},
+    ...     [("A", "B", 3, [1, 2], 0)],
+    ... )
+    >>> g.buffer("A_B_0").production
+    (3,)
+    """
+    g = CsdfGraph(name)
+    for tname, durations in tasks.items():
+        if isinstance(durations, int):
+            durations = (durations,)
+        g.add_task(Task(tname, tuple(durations)))
+    counters: Dict[Tuple[str, str], int] = {}
+    for spec in edges:
+        if len(spec) != 5:
+            raise ModelError(
+                f"edge spec must be (src, dst, prod, cons, M0), got {spec!r}"
+            )
+        src, dst, prod, cons, m0 = spec
+        idx = counters.get((src, dst), 0)
+        counters[(src, dst)] = idx + 1
+        bname = f"{src}_{dst}_{idx}"
+        prod_vec = _as_rate_vector(prod, g.phase_count(src), f"buffer {bname}")
+        cons_vec = _as_rate_vector(cons, g.phase_count(dst), f"buffer {bname}")
+        g.add_buffer(Buffer(bname, src, dst, prod_vec, cons_vec, int(m0)))
+    return g
+
+
+def csdf(
+    tasks: Mapping[str, Rates],
+    edges: Iterable[EdgeSpec],
+    name: str = "csdfg",
+) -> CsdfGraph:
+    """Shorthand for :func:`build_graph` with the arguments reordered."""
+    return build_graph(name, tasks, edges)
+
+
+def sdf(
+    tasks: Mapping[str, int],
+    edges: Iterable[Tuple[str, str, int, int, int]],
+    name: str = "sdfg",
+) -> CsdfGraph:
+    """Build an SDF graph (every task single-phase, scalar rates).
+
+    Examples
+    --------
+    >>> g = sdf({"A": 2, "B": 3}, [("A", "B", 2, 1, 0)])
+    >>> g.is_sdf()
+    True
+    """
+    task_map: Dict[str, Rates] = {}
+    for tname, duration in tasks.items():
+        if not isinstance(duration, int):
+            raise ModelError(
+                f"sdf() takes scalar durations; task {tname!r} got {duration!r}"
+            )
+        task_map[tname] = (duration,)
+    return build_graph(name, task_map, edges)
+
+
+def hsdf(
+    tasks: Mapping[str, int],
+    edges: Iterable[Tuple[str, str, int]],
+    name: str = "hsdfg",
+) -> CsdfGraph:
+    """Build a homogeneous SDF graph: edges are ``(src, dst, tokens)``."""
+    full_edges = [(src, dst, 1, 1, m0) for (src, dst, m0) in edges]
+    return sdf(tasks, full_edges, name=name)
+
+
+class GraphBuilder:
+    """Fluent incremental builder.
+
+    Examples
+    --------
+    >>> g = (GraphBuilder("g")
+    ...      .task("A", [1, 1])
+    ...      .task("B", [2])
+    ...      .buffer("A", "B", [1, 2], [3], tokens=1)
+    ...      .build())
+    >>> g.task_count
+    2
+    """
+
+    def __init__(self, name: str = "csdfg"):
+        self._graph = CsdfGraph(name)
+        self._edge_counters: Dict[Tuple[str, str], int] = {}
+        self._built = False
+
+    def task(self, name: str, durations: Rates = 1) -> "GraphBuilder":
+        if isinstance(durations, int):
+            durations = (durations,)
+        self._graph.add_task(Task(name, tuple(durations)))
+        return self
+
+    def buffer(
+        self,
+        source: str,
+        target: str,
+        production: Rates,
+        consumption: Rates,
+        tokens: int = 0,
+        name: str | None = None,
+    ) -> "GraphBuilder":
+        idx = self._edge_counters.get((source, target), 0)
+        self._edge_counters[(source, target)] = idx + 1
+        bname = name or f"{source}_{target}_{idx}"
+        prod = _as_rate_vector(
+            production, self._graph.phase_count(source), f"buffer {bname}"
+        )
+        cons = _as_rate_vector(
+            consumption, self._graph.phase_count(target), f"buffer {bname}"
+        )
+        self._graph.add_buffer(Buffer(bname, source, target, prod, cons, tokens))
+        return self
+
+    def build(self) -> CsdfGraph:
+        if self._built:
+            raise ModelError("GraphBuilder.build() called twice")
+        self._built = True
+        return self._graph

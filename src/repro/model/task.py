@@ -1,0 +1,85 @@
+"""Tasks (actors) of a CSDF graph.
+
+A task ``t`` is decomposed into ``ϕ(t)`` *phases*; one *iteration* of the
+task is the ordered execution of phases ``t_1 … t_{ϕ(t)}``. Each phase has a
+constant non-negative integer duration ``d(t_p)``. The ``n``-th execution of
+phase ``p`` is written ``⟨t_p, n⟩`` in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class Task:
+    """An actor with cyclo-static phase durations.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a graph.
+    durations:
+        One integer duration per phase; its length defines ``ϕ(t)``.
+        Durations may be 0 (useful for untimed liveness analysis) but not
+        negative.
+
+    Examples
+    --------
+    >>> a = Task("A", (1, 1))
+    >>> a.phase_count
+    2
+    >>> a.iteration_duration
+    2
+    """
+
+    name: str
+    durations: Tuple[int, ...] = field(default=(1,))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("task name must be a non-empty string")
+        durations = tuple(int(d) for d in self.durations)
+        if not durations:
+            raise ModelError(f"task {self.name!r} must have at least one phase")
+        if any(d < 0 for d in durations):
+            raise ModelError(
+                f"task {self.name!r} has a negative phase duration: {durations}"
+            )
+        object.__setattr__(self, "durations", durations)
+
+    @property
+    def phase_count(self) -> int:
+        """``ϕ(t)`` — the number of phases of one iteration."""
+        return len(self.durations)
+
+    @property
+    def iteration_duration(self) -> int:
+        """Total busy time of one iteration, ``Σ_p d(t_p)``."""
+        return sum(self.durations)
+
+    def duration(self, phase: int) -> int:
+        """Duration ``d(t_p)`` of 1-based phase ``p``."""
+        self._check_phase(phase)
+        return self.durations[phase - 1]
+
+    def is_sdf(self) -> bool:
+        """True when the task has a single phase (SDF actor)."""
+        return self.phase_count == 1
+
+    def with_durations(self, durations: Sequence[int]) -> "Task":
+        """A copy of this task with different phase durations."""
+        return Task(self.name, tuple(durations))
+
+    def _check_phase(self, phase: int) -> None:
+        if not 1 <= phase <= self.phase_count:
+            raise ModelError(
+                f"phase {phase} out of range 1..{self.phase_count} "
+                f"for task {self.name!r}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task({self.name}, d={list(self.durations)})"

@@ -1,0 +1,18 @@
+"""Explicit schedule construction and rendering.
+
+* :mod:`repro.scheduling.asap` — event-driven self-timed (as-soon-as-
+  possible) execution of a CSDFG; substrate of the symbolic-execution
+  baseline, the liveness check, and the paper's Figure 3.
+* :mod:`repro.scheduling.gantt` — ASCII Gantt charts (Figures 3 and 4).
+"""
+
+from repro.scheduling.asap import AsapSimulator, FiringRecord, asap_schedule
+from repro.scheduling.gantt import render_gantt, schedule_to_firings
+
+__all__ = [
+    "AsapSimulator",
+    "FiringRecord",
+    "asap_schedule",
+    "render_gantt",
+    "schedule_to_firings",
+]

@@ -1,0 +1,306 @@
+"""Event-driven self-timed (ASAP) execution of a CSDFG.
+
+Semantics (matching the paper's schedules and Theorem 2's executability
+condition):
+
+* tokens are consumed when a phase firing *starts* and produced when it
+  *completes*; a consumer may start at the exact completion instant of the
+  producer firing that supplies it;
+* tasks never auto-concur: each task runs at most one phase firing at a
+  time and executes phases in cyclic order (the analysis side models this
+  with implicit all-ones self-loop buffers).
+
+The simulator runs on plain integers (durations are integers, hence all
+event times are too) and exposes three drivers:
+
+* :meth:`AsapSimulator.run_events` — raw stepping with budgets;
+* :meth:`AsapSimulator.run_until_recurrence` — state-space recurrence
+  detection (the symbolic-execution baseline of [Ghamarian 2006] /
+  [Stuijk 2008]);
+* :func:`asap_schedule` — record the first firings for Gantt rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import BudgetExceededError, DeadlockError
+from repro.model.graph import CsdfGraph
+from repro.utils.timing import TimeBudget
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """One recorded phase firing ``⟨t_p, n⟩``."""
+
+    task: str
+    phase: int
+    n: int
+    start: int
+    end: int
+
+
+@dataclass
+class RecurrenceResult:
+    """Outcome of the state-space search.
+
+    ``period`` is the exact normalized period ``Ω_G`` derived from the
+    recurrence: between two identical states every task fires a whole
+    number of iterations ``r·q_t`` over ``Δτ`` time, so
+    ``Ω_G = Δτ / r``.
+    """
+
+    period: Fraction
+    transient_events: int
+    cycle_time: int
+    cycle_iterations: int
+    states_stored: int
+
+    @property
+    def throughput(self) -> Optional[Fraction]:
+        if self.period == 0:
+            return None
+        return Fraction(1, 1) / self.period
+
+
+class AsapSimulator:
+    """Self-timed executor of a (consistent) CSDFG."""
+
+    def __init__(self, graph: CsdfGraph):
+        self.graph = graph
+        self._task_names = graph.task_names()
+        self._index = {n: i for i, n in enumerate(self._task_names)}
+        tasks = [graph.task(n) for n in self._task_names]
+        self._durations = [list(t.durations) for t in tasks]
+        self._phi = [t.phase_count for t in tasks]
+
+        buffers = list(graph.buffers())
+        self._buffer_names = [b.name for b in buffers]
+        self._initial_tokens = [b.initial_tokens for b in buffers]
+        # Per task: list of (buffer index, rate vector) on each side.
+        self._consumes: List[List[Tuple[int, List[int]]]] = [
+            [] for _ in tasks
+        ]
+        self._produces: List[List[Tuple[int, List[int]]]] = [
+            [] for _ in tasks
+        ]
+        for b_idx, b in enumerate(buffers):
+            self._produces[self._index[b.source]].append(
+                (b_idx, list(b.production))
+            )
+            self._consumes[self._index[b.target]].append(
+                (b_idx, list(b.consumption))
+            )
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.time = 0
+        self.tokens: List[int] = list(self._initial_tokens)
+        # Next phase (0-based) each task will fire, and 1-based iteration
+        # count bookkeeping for ⟨t_p, n⟩ labels.
+        self.phase_cursor = [0] * len(self._phi)
+        self.fired_phases = [0] * len(self._phi)  # total phase firings
+        # end time of the ongoing firing, or None when idle.
+        self.busy_until: List[Optional[int]] = [None] * len(self._phi)
+        self.total_events = 0
+
+    # ------------------------------------------------------------------
+    def _can_start(self, t_idx: int) -> bool:
+        if self.busy_until[t_idx] is not None:
+            return False
+        p = self.phase_cursor[t_idx]
+        for b_idx, rates in self._consumes[t_idx]:
+            if self.tokens[b_idx] < rates[p]:
+                return False
+        return True
+
+    def _start(self, t_idx: int) -> int:
+        """Start the next phase firing; returns its completion time."""
+        p = self.phase_cursor[t_idx]
+        for b_idx, rates in self._consumes[t_idx]:
+            self.tokens[b_idx] -= rates[p]
+        end = self.time + self._durations[t_idx][p]
+        self.busy_until[t_idx] = end
+        return end
+
+    def _complete(self, t_idx: int) -> None:
+        p = self.phase_cursor[t_idx]
+        for b_idx, rates in self._produces[t_idx]:
+            self.tokens[b_idx] += rates[p]
+        self.busy_until[t_idx] = None
+        self.fired_phases[t_idx] += 1
+        self.phase_cursor[t_idx] = (p + 1) % self._phi[t_idx]
+
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        on_firing=None,
+        max_zero_duration_chain: int = 1_000_000,
+    ) -> bool:
+        """Process one time instant: completions, then eager starts.
+
+        Returns False when the system is permanently quiescent (deadlock
+        or empty graph); otherwise advances ``self.time`` to the next
+        event instant and returns True.
+
+        ``on_firing(task_idx, phase0, start, end)`` is called at each
+        firing start (used by the recorder).
+        """
+        progressed = True
+        guard = 0
+        while progressed:
+            progressed = False
+            for t_idx, end in enumerate(self.busy_until):
+                if end is not None and end <= self.time:
+                    self._complete(t_idx)
+                    progressed = True
+            for t_idx in range(len(self._phi)):
+                while self._can_start(t_idx):
+                    end = self._start(t_idx)
+                    self.total_events += 1
+                    if on_firing is not None:
+                        on_firing(
+                            t_idx,
+                            self.phase_cursor[t_idx],
+                            self.time,
+                            end,
+                        )
+                    progressed = True
+                    if end > self.time:
+                        break  # task busy past this instant
+                    self._complete(t_idx)  # zero-duration firing
+                    guard += 1
+                    if guard > max_zero_duration_chain:
+                        raise BudgetExceededError(
+                            "zero-duration firing chain exceeded budget "
+                            "(unbounded instantaneous throughput?)"
+                        )
+        # advance to next completion
+        pending = [e for e in self.busy_until if e is not None]
+        if not pending:
+            return False
+        self.time = min(pending)
+        return True
+
+    def is_deadlocked(self) -> bool:
+        """True when nothing is running and nothing can start."""
+        if any(e is not None for e in self.busy_until):
+            return False
+        return not any(self._can_start(i) for i in range(len(self._phi)))
+
+    # ------------------------------------------------------------------
+    def state_key(self) -> Tuple:
+        """Hashable time-abstract state (tokens, cursors, residual work)."""
+        residual = tuple(
+            (None if e is None else e - self.time) for e in self.busy_until
+        )
+        return (tuple(self.tokens), tuple(self.phase_cursor), residual)
+
+    def run_until_recurrence(
+        self,
+        repetition: Dict[str, int],
+        *,
+        max_states: int = 2_000_000,
+        time_budget: Optional[float] = None,
+    ) -> RecurrenceResult:
+        """Execute ASAP until a state recurs; derive the exact period.
+
+        Raises
+        ------
+        DeadlockError
+            When execution quiesces permanently.
+        BudgetExceededError
+            When the state/time budget is exhausted before recurrence
+            (the paper's ``> 1d`` rows).
+        """
+        budget = TimeBudget(time_budget, label="symbolic execution")
+        q_vec = [repetition[n] for n in self._task_names]
+        ref = min(range(len(q_vec)), key=lambda i: q_vec[i])
+        seen: Dict[Tuple, Tuple[int, int]] = {}
+        check_interval = 256
+        sweep = 0
+        while True:
+            key = self.state_key()
+            prior = seen.get(key)
+            if prior is not None:
+                prior_time, prior_fired = prior
+                delta_t = self.time - prior_time
+                delta_fired = self.fired_phases[ref] - prior_fired
+                if delta_fired == 0:
+                    raise DeadlockError(
+                        "recurrent state with no progress (livelock)"
+                    )
+                # delta_fired phase firings of ref = r·q_ref iterations.
+                iterations = Fraction(
+                    delta_fired, q_vec[ref] * self._phi[ref]
+                )
+                period = Fraction(delta_t, 1) / iterations
+                return RecurrenceResult(
+                    period=period,
+                    transient_events=prior_time,
+                    cycle_time=delta_t,
+                    cycle_iterations=int(iterations)
+                    if iterations.denominator == 1
+                    else 0,
+                    states_stored=len(seen),
+                )
+            seen[key] = (self.time, self.fired_phases[ref])
+            if len(seen) > max_states:
+                raise BudgetExceededError(
+                    f"symbolic execution stored more than {max_states} states"
+                )
+            sweep += 1
+            if sweep % check_interval == 0:
+                budget.check()
+            if not self.step():
+                raise DeadlockError(
+                    "self-timed execution deadlocked "
+                    f"at time {self.time} (graph {self.graph.name!r})"
+                )
+
+
+def asap_schedule(
+    graph: CsdfGraph,
+    iterations: int = 2,
+    *,
+    max_events: int = 1_000_000,
+) -> List[FiringRecord]:
+    """Record the ASAP firings covering ``iterations`` graph iterations.
+
+    Used by the paper-figure examples (Figure 3) and as a ground-truth
+    oracle in tests. Raises :class:`DeadlockError` if the graph deadlocks
+    before completing the requested iterations.
+    """
+    from repro.analysis.consistency import repetition_vector
+
+    q = repetition_vector(graph)
+    sim = AsapSimulator(graph)
+    names = sim._task_names
+    target = {
+        name: iterations * q[name] * graph.task(name).phase_count
+        for name in names
+    }
+    records: List[FiringRecord] = []
+    counters = [0] * len(names)
+
+    def recorder(t_idx: int, phase0: int, start: int, end: int) -> None:
+        counters[t_idx] += 1
+        n = (counters[t_idx] - 1) // sim._phi[t_idx] + 1
+        records.append(
+            FiringRecord(names[t_idx], phase0 + 1, n, start, end)
+        )
+
+    while any(counters[i] < target[names[i]] for i in range(len(names))):
+        if sim.total_events > max_events:
+            raise BudgetExceededError(
+                f"ASAP recording exceeded {max_events} events"
+            )
+        if not sim.step(on_firing=recorder):
+            raise DeadlockError(
+                f"graph {graph.name!r} deadlocked at time {sim.time} "
+                "during ASAP recording"
+            )
+    return records

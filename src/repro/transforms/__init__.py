@@ -1,0 +1,26 @@
+"""Graph-to-graph transformations.
+
+* :mod:`repro.transforms.surgery` — renaming, merging, duration/rate
+  scaling and other semantics-aware rewrites used by generators,
+  examples, and the scaling benches.
+
+(An exact structural CSDF→SDF phase splitting deliberately does *not*
+exist here: cyclo-static firing patterns are strictly more expressive
+than SDF channels, so any faithful conversion is the per-execution
+unfolding — provided by
+:func:`repro.baselines.unfolding.unfold_csdf_to_hsdf`.)
+"""
+
+from repro.transforms.surgery import (
+    merge_graphs,
+    relabel_graph,
+    scale_durations,
+    scale_rates,
+)
+
+__all__ = [
+    "merge_graphs",
+    "relabel_graph",
+    "scale_durations",
+    "scale_rates",
+]

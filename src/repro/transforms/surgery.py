@@ -1,0 +1,127 @@
+"""Semantics-aware graph rewrites.
+
+All functions return new graphs; inputs are never mutated (tasks and
+buffers are immutable anyway). The semantic contracts — which rewrites
+preserve throughput, which scale it — are stated per function and pinned
+by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.exceptions import ModelError
+from repro.model.buffer import Buffer
+from repro.model.graph import CsdfGraph
+from repro.model.task import Task
+
+
+def relabel_graph(
+    graph: CsdfGraph,
+    mapping: Dict[str, str],
+    *,
+    name: Optional[str] = None,
+) -> CsdfGraph:
+    """Rename tasks (buffers keep their names, endpoints re-pointed).
+
+    Unmapped tasks keep their names; collisions raise.
+    """
+    new_names = {}
+    for t in graph.tasks():
+        target = mapping.get(t.name, t.name)
+        if target in new_names.values():
+            raise ModelError(f"relabeling collides on {target!r}")
+        new_names[t.name] = target
+    out = CsdfGraph(name or graph.name)
+    for t in graph.tasks():
+        out.add_task(Task(new_names[t.name], t.durations))
+    for b in graph.buffers():
+        out.add_buffer(
+            Buffer(
+                b.name,
+                new_names[b.source],
+                new_names[b.target],
+                b.production,
+                b.consumption,
+                b.initial_tokens,
+                serialization=b.serialization,
+            )
+        )
+    return out
+
+
+def merge_graphs(
+    graphs: Iterable[CsdfGraph],
+    *,
+    name: str = "merged",
+) -> CsdfGraph:
+    """Disjoint union; task/buffer names are prefixed with the graph name.
+
+    Semantics caveat: the merged repetition vector is a common integer
+    refinement of the parts', so the merged *graph iteration* — and with
+    it the period Ω — is rescaled. The invariant is per-task throughput:
+    every task's ``q_t/Ω`` rate is bounded by its standalone rate, with
+    the slowest component attaining its bound (pinned by a property
+    test).
+    """
+    out = CsdfGraph(name)
+    for g in graphs:
+        prefix = f"{g.name}."
+        for t in g.tasks():
+            out.add_task(Task(prefix + t.name, t.durations))
+        for b in g.buffers():
+            out.add_buffer(
+                Buffer(
+                    prefix + b.name,
+                    prefix + b.source,
+                    prefix + b.target,
+                    b.production,
+                    b.consumption,
+                    b.initial_tokens,
+                    serialization=b.serialization,
+                )
+            )
+    return out
+
+
+def scale_durations(graph: CsdfGraph, factor: int) -> CsdfGraph:
+    """Multiply every phase duration by ``factor`` (≥ 1).
+
+    Scales the exact period by exactly ``factor`` (homogeneity of the
+    max-cycle-ratio — pinned by a property test).
+    """
+    if factor < 1:
+        raise ModelError(f"duration factor must be ≥ 1, got {factor}")
+    out = CsdfGraph(graph.name)
+    for t in graph.tasks():
+        out.add_task(Task(t.name, tuple(d * factor for d in t.durations)))
+    for b in graph.buffers():
+        out.add_buffer(b)
+    return out
+
+
+def scale_rates(graph: CsdfGraph, factor: int) -> CsdfGraph:
+    """Multiply every rate *and marking* by ``factor`` (≥ 1).
+
+    Token counts scale uniformly, so the repetition vector, liveness and
+    the exact period are all unchanged (pinned by tests). Useful for
+    building numerically-stressed variants of a benchmark.
+    """
+    if factor < 1:
+        raise ModelError(f"rate factor must be ≥ 1, got {factor}")
+    out = CsdfGraph(graph.name)
+    for t in graph.tasks():
+        out.add_task(t)
+    for b in graph.buffers():
+        out.add_buffer(
+            Buffer(
+                b.name,
+                b.source,
+                b.target,
+                tuple(r * factor for r in b.production),
+                tuple(r * factor for r in b.consumption),
+                b.initial_tokens * factor,
+                serialization=b.serialization,
+            )
+        )
+    return out

@@ -1,0 +1,67 @@
+"""Wall-clock measurement and budget enforcement for benchmarks.
+
+The paper reports timeout rows (``> 1d``) for the exponential baselines.
+:class:`TimeBudget` makes that reproducible at laptop scale: long-running
+loops poll :meth:`TimeBudget.check` and raise
+:class:`~repro.exceptions.BudgetExceededError` when the budget is spent.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import BudgetExceededError
+
+
+class Stopwatch:
+    """Monotonic wall-clock stopwatch, usable as a context manager."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+    def lap(self) -> float:
+        """Seconds since ``__enter__`` without stopping the watch."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch not started")
+        return time.perf_counter() - self._start
+
+
+class TimeBudget:
+    """A wall-clock budget; ``None`` seconds means unlimited.
+
+    ``check()`` is cheap enough to call inside inner simulation loops every
+    few thousand iterations (it reads a monotonic clock once).
+    """
+
+    def __init__(self, seconds: float | None, label: str = "computation"):
+        self.seconds = seconds
+        self.label = label
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def remaining(self) -> float | None:
+        if self.seconds is None:
+            return None
+        return self.seconds - self.elapsed()
+
+    def exhausted(self) -> bool:
+        return self.seconds is not None and self.elapsed() > self.seconds
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceededError` if the budget is spent."""
+        if self.exhausted():
+            raise BudgetExceededError(
+                f"{self.label} exceeded {self.seconds:.3f}s wall-clock budget",
+                elapsed=self.elapsed(),
+            )

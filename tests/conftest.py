@@ -1,0 +1,77 @@
+"""Shared fixtures and graph factories for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model import Buffer, CsdfGraph, Task, csdf, sdf
+
+
+@pytest.fixture
+def two_task_cycle() -> CsdfGraph:
+    """A→B→A unit-rate cycle with one token: exact period 2."""
+    return sdf(
+        {"A": 1, "B": 1},
+        [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 1)],
+        name="two_task_cycle",
+    )
+
+
+@pytest.fixture
+def multirate_cycle() -> CsdfGraph:
+    """A 2↔3 rate cycle (q = [3, 2])."""
+    return sdf(
+        {"A": 1, "B": 2},
+        [("A", "B", 2, 3, 0), ("B", "A", 3, 2, 6)],
+        name="multirate_cycle",
+    )
+
+
+@pytest.fixture
+def csdf_pipeline() -> CsdfGraph:
+    """A genuinely cyclo-static two-task pipeline (Figure 1 rates)."""
+    return csdf(
+        {"t": [1, 2, 1], "u": [3, 1]},
+        [("t", "u", [2, 3, 1], [2, 5], 0)],
+        name="csdf_pipeline",
+    )
+
+
+@pytest.fixture
+def deadlocked_cycle() -> CsdfGraph:
+    """Tokenless cycle: consistent but dead."""
+    return sdf(
+        {"A": 1, "B": 1},
+        [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 0)],
+        name="deadlocked",
+    )
+
+
+def make_random_live_graph(seed: int, tasks: int = 5, csdf_phases: int = 2):
+    """Small random live CSDFG for cross-engine integration tests.
+
+    Kept deliberately tiny (Σq small) so the exponential oracles finish
+    instantly.
+    """
+    from repro.generators._machinery import GraphSpec, random_q_vector
+
+    rng = random.Random(seed)
+    spec = GraphSpec(f"rand{seed}", rng)
+    q_values = random_q_vector(rng, tasks, max_q=4)
+    for i, q in enumerate(q_values):
+        spec.add_task(
+            f"t{i}", q, phases=rng.randint(1, csdf_phases),
+            duration_range=(0, 6),
+        )
+    names = [f"t{i}" for i in range(tasks)]
+    for i in range(1, tasks):
+        spec.connect(names[rng.randrange(i)], names[i],
+                     rate_scale=rng.randint(1, 2))
+    # one or two marked feedback arcs to create non-trivial cycles
+    for _ in range(rng.randint(1, 2)):
+        j = rng.randrange(1, tasks)
+        i = rng.randrange(j)
+        spec.connect(names[j], names[i], rate_scale=1)
+    return spec.build()

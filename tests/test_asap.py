@@ -1,0 +1,126 @@
+"""Unit tests for the self-timed (ASAP) event simulator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import repetition_vector
+from repro.exceptions import BudgetExceededError, DeadlockError
+from repro.generators.paper import figure2_graph
+from repro.model import csdf, sdf
+from repro.scheduling import AsapSimulator, asap_schedule
+
+
+class TestSimulatorMechanics:
+    def test_tokens_consumed_at_start(self, two_task_cycle):
+        sim = AsapSimulator(two_task_cycle)
+        sim.step()
+        # B->A buffer held 1 token; A starts at t=0 and consumes it
+        b_idx = sim._buffer_names.index("B_A_0")
+        assert sim.tokens[b_idx] == 0
+
+    def test_serialized_firing(self):
+        # one task, duration 5: firings must not overlap
+        g = sdf({"A": 5}, [])
+        records = asap_schedule(g, iterations=3)
+        starts = sorted(r.start for r in records)
+        assert starts == [0, 5, 10]
+
+    def test_phase_order(self, csdf_pipeline):
+        records = [r for r in asap_schedule(csdf_pipeline, 1)
+                   if r.task == "t"]
+        assert [r.phase for r in records[:3]] == [1, 2, 3]
+
+    def test_consumer_starts_at_completion_instant(self):
+        g = sdf({"A": 4, "B": 1}, [("A", "B", 1, 1, 0)])
+        records = asap_schedule(g, iterations=1)
+        a = next(r for r in records if r.task == "A")
+        b = next(r for r in records if r.task == "B")
+        assert b.start == a.end
+
+    def test_deadlock_reported(self, deadlocked_cycle):
+        with pytest.raises(DeadlockError):
+            asap_schedule(deadlocked_cycle, iterations=1)
+
+    def test_deadlock_predicate(self, deadlocked_cycle):
+        sim = AsapSimulator(deadlocked_cycle)
+        assert sim.is_deadlocked()
+
+    def test_zero_duration_chain_guard(self):
+        g = sdf({"A": 0}, [])
+        sim = AsapSimulator(g)
+        with pytest.raises(BudgetExceededError):
+            sim.step(max_zero_duration_chain=10)
+
+
+class TestRecurrence:
+    def test_two_task_cycle_period(self, two_task_cycle):
+        sim = AsapSimulator(two_task_cycle)
+        q = repetition_vector(two_task_cycle)
+        result = sim.run_until_recurrence(q)
+        assert result.period == 2
+
+    def test_multirate_cycle_period(self, multirate_cycle):
+        from repro.kperiodic.kiter import throughput_via_full_expansion
+
+        sim = AsapSimulator(multirate_cycle)
+        q = repetition_vector(multirate_cycle)
+        result = sim.run_until_recurrence(q)
+        assert result.period == throughput_via_full_expansion(
+            multirate_cycle
+        ).omega
+
+    def test_state_budget(self, multirate_cycle):
+        sim = AsapSimulator(multirate_cycle)
+        q = repetition_vector(multirate_cycle)
+        with pytest.raises(BudgetExceededError):
+            sim.run_until_recurrence(q, max_states=1)
+
+    def test_deadlock_in_recurrence(self, deadlocked_cycle):
+        sim = AsapSimulator(deadlocked_cycle)
+        with pytest.raises(DeadlockError):
+            sim.run_until_recurrence({"A": 1, "B": 1})
+
+
+class TestAsapIsOptimal:
+    """ASAP achieves the exact maximum throughput (the classic result)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_kiter_on_random_graphs(self, seed):
+        from tests.conftest import make_random_live_graph
+        from repro.kperiodic import throughput_kiter
+        from repro.baselines import throughput_symbolic
+
+        g = make_random_live_graph(seed)
+        exact = throughput_kiter(g).period
+        assert throughput_symbolic(g).period == exact
+
+    def test_figure2(self):
+        from repro.baselines import throughput_symbolic
+
+        assert throughput_symbolic(figure2_graph()).period == 13
+
+
+class TestRecorder:
+    def test_record_counts(self, two_task_cycle):
+        records = asap_schedule(two_task_cycle, iterations=2)
+        a_records = [r for r in records if r.task == "A"]
+        assert len(a_records) >= 2
+        assert all(r.end - r.start == 1 for r in records)
+
+    def test_never_negative_tokens(self, csdf_pipeline):
+        # replay the recorded schedule through the exact event check
+        records = asap_schedule(csdf_pipeline, iterations=3)
+        events = []
+        buffers = {b.name: b for b in csdf_pipeline.buffers()}
+        for r in records:
+            b = buffers["t_u_0"]
+            if r.task == "t":
+                events.append((r.end, 0, b.production[r.phase - 1]))
+            else:
+                events.append((r.start, 1, -b.consumption[r.phase - 1]))
+        events.sort()
+        level = 0
+        for _t, _o, delta in events:
+            level += delta
+            assert level >= 0

@@ -1,0 +1,127 @@
+"""Unit tests for the three baseline methods."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines import (
+    expand_sdf_to_hsdf,
+    throughput_expansion,
+    throughput_periodic,
+    throughput_symbolic,
+)
+from repro.exceptions import BudgetExceededError, DeadlockError, ModelError
+from repro.generators.paper import figure2_graph
+from repro.kperiodic import throughput_kiter
+from repro.model import csdf, hsdf, sdf
+
+
+class TestPeriodic:
+    def test_periodic_upper_bounds_period(self, multirate_cycle):
+        exact = throughput_kiter(multirate_cycle).period
+        periodic = throughput_periodic(multirate_cycle)
+        assert periodic.feasible
+        assert periodic.period >= exact
+
+    def test_figure2_pessimism(self):
+        # Ω_periodic = 18 > Ω* = 13 on the running example
+        r = throughput_periodic(figure2_graph())
+        assert r.period == 18
+
+    def test_infeasible_reported_not_raised(self, deadlocked_cycle):
+        r = throughput_periodic(deadlocked_cycle)
+        assert not r.feasible
+        assert r.throughput is None
+
+    def test_schedule_extraction(self, two_task_cycle):
+        r = throughput_periodic(two_task_cycle, build_schedule=True)
+        assert r.schedule is not None
+        r.schedule.verify(two_task_cycle, iterations=3)
+
+
+class TestSymbolic:
+    def test_exact_on_figure2(self):
+        assert throughput_symbolic(figure2_graph()).period == 13
+
+    def test_scc_decomposition_on_dag(self):
+        # two independent slow/fast SCCs bridged by a DAG edge: the
+        # slower one binds.
+        g = sdf(
+            {"A": 5, "B": 5, "C": 1, "D": 1},
+            [
+                ("A", "B", 1, 1, 0), ("B", "A", 1, 1, 1),   # period 10
+                ("B", "C", 1, 1, 0),                          # bridge
+                ("C", "D", 1, 1, 0), ("D", "C", 1, 1, 1),   # period 2
+            ],
+        )
+        r = throughput_symbolic(g)
+        assert r.period == 10
+        assert r.scc_count == 2  # {A,B} and {C,D}
+
+    def test_deadlock_detected(self, deadlocked_cycle):
+        with pytest.raises(DeadlockError):
+            throughput_symbolic(deadlocked_cycle)
+
+    def test_state_budget(self):
+        g = sdf({"A": 1, "B": 1},
+                [("A", "B", 97, 89, 0), ("B", "A", 89, 97, 97 * 89)])
+        with pytest.raises(BudgetExceededError):
+            throughput_symbolic(g, max_states=10)
+
+    def test_zero_duration_source(self):
+        g = sdf({"S": 0, "A": 2}, [("S", "A", 1, 1, 0)])
+        assert throughput_symbolic(g).period == 2
+
+
+class TestExpansion:
+    def test_rejects_csdf(self, csdf_pipeline):
+        with pytest.raises(ModelError):
+            throughput_expansion(csdf_pipeline)
+
+    def test_exact_on_sdf(self, multirate_cycle):
+        exact = throughput_kiter(multirate_cycle).period
+        assert throughput_expansion(multirate_cycle).period == exact
+
+    def test_hsdf_sizes(self, multirate_cycle):
+        full, _ = expand_sdf_to_hsdf(multirate_cycle, reduced=False)
+        red, _ = expand_sdf_to_hsdf(multirate_cycle, reduced=True)
+        assert full.node_count == red.node_count == 5  # q = [3, 2]
+        assert red.arc_count <= full.arc_count
+
+    def test_reduction_preserves_period(self):
+        for seed in range(8):
+            from repro.generators.random_sdf import random_connected_sdf
+
+            g = random_connected_sdf(seed + 40, tasks=4, max_q=4)
+            full = throughput_expansion(g, reduced=False).period
+            red = throughput_expansion(g, reduced=True).period
+            assert full == red
+
+    def test_hsdf_expansion_is_identity_sized(self):
+        g = hsdf({"A": 1, "B": 1}, [("A", "B", 0), ("B", "A", 2)])
+        expanded, index = expand_sdf_to_hsdf(g)
+        assert expanded.node_count == 2
+        assert ("A", 1) in index and ("B", 1) in index
+
+    def test_initial_tokens_delay_arcs(self):
+        # M0 covering a full iteration pushes the dependency one
+        # iteration back (delay-1 arc), leaving throughput limited only
+        # by utilization.
+        g = sdf({"A": 2, "B": 3},
+                [("A", "B", 1, 1, 1), ("B", "A", 1, 1, 0)])
+        assert throughput_expansion(g).period == throughput_kiter(g).period
+
+
+class TestThreeWayAgreement:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sdf_graphs(self, seed):
+        from repro.generators.random_sdf import random_connected_sdf
+
+        g = random_connected_sdf(seed + 300, tasks=5, max_q=4,
+                                 duration_range=(1, 9))
+        kiter = throughput_kiter(g).period
+        assert throughput_expansion(g).period == kiter
+        assert throughput_symbolic(g).period == kiter
+        periodic = throughput_periodic(g)
+        if periodic.feasible:
+            assert periodic.period >= kiter

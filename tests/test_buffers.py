@@ -1,0 +1,171 @@
+"""Unit tests for the bounded-buffer transformation and sizing helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.buffers import (
+    bound_all_buffers,
+    bound_buffer,
+    minimal_feasible_scale,
+    throughput_storage_curve,
+)
+from repro.buffers.capacity import minimal_buffer_capacity
+from repro.exceptions import ModelError
+from repro.kperiodic import throughput_kiter
+from repro.baselines import throughput_symbolic
+from repro.analysis import is_live
+from repro.model import sdf
+
+
+@pytest.fixture
+def pipeline():
+    return sdf({"A": 2, "B": 3}, [("A", "B", 2, 1, 0)], name="pipe")
+
+
+class TestBoundBuffer:
+    def test_reverse_arc_created(self, pipeline):
+        bounded = bound_buffer(pipeline, "A_B_0", 8)
+        space = bounded.buffer("__space_A_B_0")
+        assert space.source == "B" and space.target == "A"
+        assert space.initial_tokens == 8
+
+    def test_capacity_below_marking_rejected(self):
+        g = sdf({"A": 1, "B": 1}, [("A", "B", 1, 1, 5)])
+        with pytest.raises(ModelError):
+            bound_buffer(g, "A_B_0", 4)
+
+    def test_bound_all_uniform(self, pipeline):
+        bounded = bound_all_buffers(pipeline, 100)
+        assert bounded.buffer_count == 2
+
+    def test_bound_all_skips_self_loops(self):
+        g = sdf({"A": 1}, [("A", "A", 1, 1, 1)])
+        bounded = bound_all_buffers(g, 10)
+        assert bounded.buffer_count == 1
+
+    def test_mapping_selects_buffers(self, pipeline):
+        bounded = bound_all_buffers(pipeline, {"A_B_0": 9})
+        assert bounded.buffer("__space_A_B_0").initial_tokens == 9
+
+    def test_minimal_capacity_fits_one_exchange(self, pipeline):
+        b = pipeline.buffer("A_B_0")
+        assert minimal_buffer_capacity(b) == 3  # max in + max out
+
+
+class TestSemantics:
+    def test_bounding_slows_pipeline(self, pipeline):
+        unbounded = throughput_kiter(pipeline).period
+        tight = bound_all_buffers(pipeline, 3)
+        bounded_period = throughput_kiter(tight).period
+        assert bounded_period >= unbounded
+
+    def test_bounded_matches_symbolic(self, pipeline):
+        tight = bound_all_buffers(pipeline, 3)
+        assert (
+            throughput_symbolic(tight).period
+            == throughput_kiter(tight).period
+        )
+
+    def test_generous_capacity_restores_throughput(self, pipeline):
+        unbounded = throughput_kiter(pipeline).period
+        roomy = bound_all_buffers(pipeline, 1000)
+        assert throughput_kiter(roomy).period == unbounded
+
+    def test_too_tight_capacity_deadlocks(self):
+        # a 2-token exchange cannot happen through a 1-token buffer;
+        # bound_all_buffers raises the capacity to the structural
+        # minimum, so build the reverse arc by hand to model it.
+        from repro.model import Buffer, CsdfGraph, Task
+
+        g = CsdfGraph("tight")
+        g.add_task(Task("A", (1,)))
+        g.add_task(Task("B", (1,)))
+        g.add_buffer(Buffer("ab", "A", "B", (2,), (2,), 0))
+        g.add_buffer(Buffer("space", "B", "A", (2,), (2,), 1))
+        assert not is_live(g)
+
+
+class TestSizing:
+    def test_storage_curve_monotone(self, pipeline):
+        curve = throughput_storage_curve(pipeline, [1, 2, 4])
+        values = [Fraction(-1) if th is None else th for _s, th in curve]
+        assert values == sorted(values)
+
+    def test_minimal_feasible_scale_is_live(self, pipeline):
+        scale = minimal_feasible_scale(pipeline)
+        assert scale >= 1
+
+    def test_minimal_scale_for_target_throughput(self, pipeline):
+        best = throughput_kiter(pipeline).throughput
+        scale = minimal_feasible_scale(
+            pipeline,
+            predicate=lambda th: th is not None and th >= best,
+        )
+        # the scale below must fail the predicate (minimality)
+        if scale > 1:
+            from repro.buffers.sizing import _capacities_at_scale
+
+            smaller = bound_all_buffers(
+                pipeline, _capacities_at_scale(pipeline, scale - 1)
+            )
+            try:
+                worse = throughput_kiter(smaller).throughput
+            except Exception:
+                worse = None
+            assert worse is None or worse < best
+
+    def test_minimize_total_storage_meets_target(self, pipeline):
+        from repro.buffers import minimize_total_storage
+
+        caps = minimize_total_storage(pipeline)
+        bounded = bound_all_buffers(pipeline, caps)
+        assert (
+            throughput_kiter(bounded).period
+            == throughput_kiter(pipeline).period
+        )
+
+    def test_minimize_total_storage_is_locally_minimal(self, pipeline):
+        from repro.buffers import minimize_total_storage
+        from repro.buffers.capacity import minimal_buffer_capacity
+        from repro.exceptions import DeadlockError
+
+        target = throughput_kiter(pipeline).throughput
+        caps = minimize_total_storage(pipeline)
+        floors = {
+            b.name: minimal_buffer_capacity(b)
+            for b in pipeline.buffers() if not b.is_self_loop()
+        }
+        for name in caps:
+            if caps[name] <= floors[name]:
+                continue
+            trial = dict(caps)
+            trial[name] -= 1
+            bounded = bound_all_buffers(pipeline, trial)
+            try:
+                th = throughput_kiter(bounded).throughput
+            except DeadlockError:
+                th = None
+            assert th is None or th < target, (
+                f"buffer {name} could still shrink"
+            )
+
+    def test_minimize_storage_on_cycle(self, multirate_cycle=None):
+        from repro.buffers import minimize_total_storage
+        from repro.model import sdf
+
+        g = sdf({"A": 1, "B": 2},
+                [("A", "B", 2, 3, 0), ("B", "A", 3, 2, 6)])
+        caps = minimize_total_storage(g)
+        assert set(caps) == {"A_B_0", "B_A_0"}
+
+    def test_bad_scale_rejected(self, pipeline):
+        with pytest.raises(ModelError):
+            throughput_storage_curve(pipeline, [0])
+
+    def test_unreachable_predicate_rejected(self, pipeline):
+        with pytest.raises(ModelError):
+            minimal_feasible_scale(
+                pipeline, max_scale=2,
+                predicate=lambda th: False,
+            )

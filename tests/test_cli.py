@@ -1,0 +1,134 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.generators.paper import figure2_graph
+from repro.io import save_graph
+
+
+@pytest.fixture
+def fig2_json(tmp_path):
+    path = tmp_path / "fig2.json"
+    save_graph(figure2_graph(), path)
+    return str(path)
+
+
+class TestInfo:
+    def test_reports_everything(self, fig2_json, capsys):
+        assert main(["info", fig2_json]) == 0
+        out = capsys.readouterr().out
+        assert "repetition vector" in out
+        assert "live: yes" in out
+        assert "period bounds" in out
+
+    def test_dead_graph_flagged(self, tmp_path, capsys, deadlocked_cycle):
+        path = tmp_path / "dead.json"
+        save_graph(deadlocked_cycle, path)
+        assert main(["info", str(path)]) == 0
+        assert "no (deadlock)" in capsys.readouterr().out
+
+    def test_unknown_format(self, tmp_path, capsys):
+        bad = tmp_path / "g.yaml"
+        bad.write_text("x")
+        assert main(["info", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestThroughput:
+    @pytest.mark.parametrize("method", ["kiter", "periodic", "symbolic"])
+    def test_methods(self, fig2_json, capsys, method):
+        assert main(["throughput", fig2_json, "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert "period:" in out
+
+    def test_kiter_exact_value(self, fig2_json, capsys):
+        main(["throughput", fig2_json])
+        assert "period: 13" in capsys.readouterr().out
+
+
+class TestConvert:
+    def test_json_to_xml_roundtrip(self, fig2_json, tmp_path, capsys):
+        xml = tmp_path / "fig2.xml"
+        back = tmp_path / "back.json"
+        assert main(["convert", fig2_json, str(xml)]) == 0
+        assert main(["convert", str(xml), str(back)]) == 0
+        original = json.loads(open(fig2_json).read())
+        rebuilt = json.loads(back.read_text())
+        assert len(original["tasks"]) == len(rebuilt["tasks"])
+        assert len(original["buffers"]) == len(rebuilt["buffers"])
+
+    def test_dot_export(self, fig2_json, tmp_path):
+        dot = tmp_path / "fig2.dot"
+        assert main(["convert", fig2_json, str(dot)]) == 0
+        assert dot.read_text().startswith("digraph")
+
+
+class TestGantt:
+    def test_asap(self, fig2_json, capsys):
+        assert main(["gantt", fig2_json, "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "as-soon-as-possible" in out
+        assert "A" in out
+
+    def test_kperiodic(self, fig2_json, capsys):
+        assert main(["gantt", fig2_json, "--kperiodic"]) == 0
+        out = capsys.readouterr().out
+        assert "Ω = 13" in out
+
+
+class TestGenerate:
+    def test_named_graph(self, tmp_path, capsys):
+        out_path = tmp_path / "g.json"
+        assert main(["generate", "figure2", "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        assert "4 tasks" in capsys.readouterr().out
+
+    def test_seeded_graph(self, tmp_path):
+        out_path = tmp_path / "m.json"
+        assert main(["generate", "mimic-dsp", "--seed", "5",
+                     "-o", str(out_path)]) == 0
+
+    def test_unknown_generator(self, tmp_path, capsys):
+        assert main(["generate", "nope", "-o", str(tmp_path / "x.json")]) == 2
+        assert "unknown generator" in capsys.readouterr().err
+
+
+class TestSchedule:
+    def test_export_and_reload(self, fig2_json, tmp_path, capsys):
+        out_path = tmp_path / "sched.json"
+        assert main(["schedule", fig2_json, "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "period: 13" in out
+        assert "verified" in out
+        from repro.io import load_schedule
+
+        schedule = load_schedule(out_path)
+        assert schedule.omega == 13
+
+
+class TestMap:
+    def test_processor_sweep(self, fig2_json, capsys):
+        assert main(["map", fig2_json, "--processors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dataflow-limited period" in out
+        assert "1 processor(s): period 25" in out  # sequential bound
+
+    def test_deadlock_diagnosis_in_info(self, tmp_path, capsys,
+                                         deadlocked_cycle):
+        from repro.io import save_graph
+
+        path = tmp_path / "dead.json"
+        save_graph(deadlocked_cycle, path)
+        main(["info", str(path)])
+        out = capsys.readouterr().out
+        assert "starvation cycle" in out
+
+
+class TestBenchCommand:
+    def test_table1_smoke(self, capsys):
+        assert main(["bench", "table1", "--count", "1",
+                     "--budget", "5"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""Unit tests for deadlock diagnosis."""
+
+import pytest
+
+from repro.analysis.deadlock import explain_deadlock
+from repro.buffers import bound_all_buffers
+from repro.model import Buffer, CsdfGraph, Task, csdf, sdf
+
+
+class TestLiveGraphs:
+    def test_live_returns_none(self, two_task_cycle):
+        assert explain_deadlock(two_task_cycle) is None
+
+    def test_dag_returns_none(self):
+        g = sdf({"A": 1, "B": 1}, [("A", "B", 3, 2, 0)])
+        assert explain_deadlock(g) is None
+
+
+class TestCircularWaits:
+    def test_two_task_circle(self, deadlocked_cycle):
+        diag = explain_deadlock(deadlocked_cycle)
+        assert diag is not None
+        assert len(diag.cycle) == 2
+        tasks = {s.task for s in diag.cycle}
+        assert tasks == {"A", "B"}
+        assert all(s.missing == 1 for s in diag.cycle)
+
+    def test_three_task_circle(self):
+        g = sdf(
+            {"A": 1, "B": 1, "C": 1},
+            [("A", "B", 1, 1, 0), ("B", "C", 1, 1, 0), ("C", "A", 1, 1, 0)],
+        )
+        diag = explain_deadlock(g)
+        assert {s.task for s in diag.cycle} == {"A", "B", "C"}
+
+    def test_partial_progress_reported(self):
+        # tokens allow some firings before the cycle starves
+        g = sdf(
+            {"A": 1, "B": 1},
+            [("A", "B", 2, 3, 2), ("B", "A", 3, 2, 1)],
+        )
+        diag = explain_deadlock(g)
+        if diag is not None:
+            assert 0.0 <= diag.completed_fraction < 1.0
+
+    def test_describe_mentions_cycle(self, deadlocked_cycle):
+        text = explain_deadlock(deadlocked_cycle).describe()
+        assert "waits for" in text
+        assert "A" in text and "B" in text
+
+
+class TestCapacityInducedDeadlock:
+    def test_undersized_buffer_diagnosed(self):
+        # producer needs 2 slots, capacity hand-built at 1
+        g = CsdfGraph("tight")
+        g.add_task(Task("A", (1,)))
+        g.add_task(Task("B", (1,)))
+        g.add_buffer(Buffer("ab", "A", "B", (2,), (2,), 0))
+        g.add_buffer(Buffer("space", "B", "A", (2,), (2,), 1))
+        diag = explain_deadlock(g)
+        assert diag is not None
+        starved_buffers = {s.buffer for s in diag.starvations}
+        assert "space" in starved_buffers or "ab" in starved_buffers
+
+    def test_self_loop_starvation(self):
+        g = csdf({"A": [1, 1]}, [("A", "A", [1, 1], [2, 0], 1)])
+        diag = explain_deadlock(g)
+        assert diag is not None
+        assert diag.cycle[0].task == "A"
+        assert diag.cycle[0].missing == 1
+
+
+class TestAgreementWithIsLive:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_diagnosis_iff_not_live(self, seed):
+        from repro.analysis import is_live
+        from tests.conftest import make_random_live_graph
+
+        g = make_random_live_graph(seed)
+        assert (explain_deadlock(g) is None) == is_live(g)

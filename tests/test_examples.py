@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are user-facing documentation; breaking one silently is worse
+than breaking an internal module. Each script is executed in-process
+(fresh ``__main__``-style globals) with a temp working directory so
+artifact writes stay sandboxed.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.name for p in EXAMPLES])
+def test_example_runs(script, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_example_inventory():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert "paper_figures.py" in names
+    assert len(names) >= 4  # quickstart + ≥3 domain scenarios

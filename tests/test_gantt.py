@@ -1,0 +1,69 @@
+"""Unit tests for Gantt rendering and schedule→firing expansion."""
+
+from fractions import Fraction
+
+from repro.kperiodic import min_period_for_k
+from repro.scheduling import render_gantt, schedule_to_firings
+from repro.scheduling.asap import FiringRecord
+from repro.generators.paper import figure2_graph
+from repro.model import sdf
+
+
+class TestRenderGantt:
+    def test_empty(self):
+        assert "empty" in render_gantt([])
+
+    def test_rows_per_task(self):
+        records = [
+            FiringRecord("A", 1, 1, 0, 2),
+            FiringRecord("B", 1, 1, 2, 3),
+        ]
+        text = render_gantt(records, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 3  # axis + two task rows
+        assert lines[1].startswith("A")
+        assert lines[2].startswith("B")
+
+    def test_task_order_respected(self):
+        records = [
+            FiringRecord("Z", 1, 1, 0, 1),
+            FiringRecord("A", 1, 1, 0, 1),
+        ]
+        text = render_gantt(records, task_order=["A", "Z"])
+        lines = text.splitlines()
+        assert lines[1].startswith("A")
+
+    def test_zero_duration_marker(self):
+        records = [FiringRecord("A", 1, 1, 5, 5)]
+        assert "|" in render_gantt(records, width=40)
+
+    def test_phase_labels(self):
+        records = [FiringRecord("A", 2, 1, 0, 4)]
+        text = render_gantt(records, width=40)
+        assert "2" in text.splitlines()[1]
+
+    def test_wide_horizon_scales_down(self):
+        records = [FiringRecord("A", 1, 1, 0, 10_000)]
+        text = render_gantt(records, width=50)
+        assert max(len(line) for line in text.splitlines()) <= 70
+
+
+class TestScheduleToFirings:
+    def test_integer_scaling(self):
+        g = sdf({"A": 1, "B": 1},
+                [("A", "B", 2, 3, 0), ("B", "A", 3, 2, 6)])
+        r = min_period_for_k(g, {"A": 1, "B": 1})
+        firings = schedule_to_firings(r.schedule, g, horizon_iterations=2)
+        assert firings, "expected firings"
+        # q = [3,2]: two iterations = 6 A firings + 4 B firings
+        assert sum(1 for f in firings if f.task == "A") == 6
+        assert sum(1 for f in firings if f.task == "B") == 4
+        assert all(isinstance(f.start, int) for f in firings)
+
+    def test_figure2_render_has_all_tasks(self):
+        g = figure2_graph()
+        r = min_period_for_k(g, {"A": 3, "B": 4, "C": 6, "D": 1})
+        firings = schedule_to_firings(r.schedule, g, horizon_iterations=1)
+        text = render_gantt(firings, width=90)
+        for task in ("A", "B", "C", "D"):
+            assert any(line.startswith(task) for line in text.splitlines())

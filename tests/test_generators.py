@@ -1,0 +1,142 @@
+"""Unit tests for the benchmark generators (statistics + invariants)."""
+
+import pytest
+
+from repro.analysis import (
+    is_consistent,
+    is_live,
+    repetition_vector,
+    repetition_vector_sum,
+)
+from repro.generators import (
+    actual_dsp_graphs,
+    blackscholes,
+    csdf_applications,
+    echo,
+    figure1_buffer,
+    figure2_graph,
+    h263_decoder,
+    h264_encoder,
+    jpeg2000,
+    large_hsdf,
+    large_transient,
+    mimic_dsp,
+    pdetect,
+    synthetic_graphs,
+)
+
+
+class TestPaperGraphs:
+    def test_figure1(self):
+        g = figure1_buffer()
+        b = g.buffer("b")
+        assert b.total_production == 6 and b.total_consumption == 7
+
+    def test_figure2_q(self):
+        assert repetition_vector(figure2_graph()) == {
+            "A": 3, "B": 4, "C": 6, "D": 1
+        }
+
+    def test_figure2_live(self):
+        assert is_live(figure2_graph())
+
+
+class TestActualDsp:
+    def test_category_statistics(self):
+        graphs = actual_dsp_graphs()
+        assert len(graphs) == 5
+        tasks = [g.task_count for g in graphs]
+        assert min(tasks) == 4 and max(tasks) == 22  # paper: 4/12/22
+        sums = [repetition_vector_sum(g) for g in graphs]
+        assert max(sums) == 4754  # the H263 decoder
+
+    def test_h263_repetition(self):
+        q = repetition_vector(h263_decoder())
+        assert q["iq"] == q["idct"] == 2376
+        assert q["vld"] == q["mc"] == 1
+
+    def test_all_live_and_consistent(self):
+        for g in actual_dsp_graphs():
+            assert is_consistent(g), g.name
+            assert is_live(g), g.name
+
+
+class TestRandomCategories:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mimic_dsp_invariants(self, seed):
+        g = mimic_dsp(seed)
+        assert 3 <= g.task_count <= 25
+        assert is_live(g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_large_hsdf_has_large_expansion(self, seed):
+        g = large_hsdf(seed)
+        assert 6 <= g.task_count <= 15
+        assert repetition_vector_sum(g) > 50 * g.task_count
+        assert is_live(g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_large_transient_is_homogeneous(self, seed):
+        g = large_transient(seed)
+        assert 181 <= g.task_count <= 300
+        assert repetition_vector_sum(g) == g.task_count  # q ≡ 1
+        assert is_live(g)
+
+    def test_determinism(self):
+        a, b = mimic_dsp(11), mimic_dsp(11)
+        assert a.summary() == b.summary()
+
+
+class TestCsdfApplications:
+    def test_published_counts(self):
+        expected = {
+            "BlackScholes": (41, 40),
+            "Echo": (240, 703),
+            "JPEG2000": (38, 82),
+            "Pdetect": (58, 76),
+            "H264 Encoder": (665, 3128),
+        }
+        for name, thunk in csdf_applications(1):
+            g = thunk()
+            assert (g.task_count, g.buffer_count) == expected[name], name
+
+    @pytest.mark.parametrize(
+        "maker", [blackscholes, echo, jpeg2000, pdetect]
+    )
+    def test_small_apps_live(self, maker):
+        g = maker()
+        assert is_consistent(g)
+        assert is_live(g)
+
+    def test_h264_live(self):
+        g = h264_encoder()
+        assert is_live(g)
+
+    def test_genuinely_cyclostatic(self):
+        # at least one task with >1 phase in every app
+        for name, thunk in csdf_applications(1):
+            g = thunk()
+            assert any(t.phase_count > 1 for t in g.tasks()), name
+
+    def test_scale_knob_raises_sum_q(self):
+        small = repetition_vector_sum(blackscholes(1))
+        large = repetition_vector_sum(blackscholes(4))
+        assert large > small
+
+
+class TestSynthetic:
+    def test_published_counts(self):
+        expected = {
+            "graph1": (90, 617),
+            "graph2": (70, 473),
+            "graph3": (154, 671),
+            "graph4": (2426, 2900),
+            "graph5": (2767, 4894),
+        }
+        for name, thunk in synthetic_graphs(1):
+            g = thunk()
+            assert (g.task_count, g.buffer_count) == expected[name], name
+
+    def test_small_synthetic_live(self):
+        for name, thunk in synthetic_graphs(1)[:3]:
+            assert is_live(thunk()), name

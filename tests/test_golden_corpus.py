@@ -1,0 +1,57 @@
+"""Regression corpus: serialized graphs with triple-verified periods.
+
+Each graph in ``tests/data/`` was stored together with its exact period
+after K-Iter, symbolic execution and CSDF unfolding all agreed on it.
+Any future change that shifts a period on any engine fails here with
+the exact offending instance — the strongest cheap regression net the
+library has.
+"""
+
+import json
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import throughput_periodic, throughput_symbolic
+from repro.baselines.unfolding import throughput_unfolding
+from repro.io import load_graph
+from repro.kperiodic import throughput_kiter
+
+DATA = Path(__file__).parent / "data"
+INDEX = json.loads((DATA / "golden_index.json").read_text())
+CASES = [(entry["file"], Fraction(*entry["period"])) for entry in INDEX]
+
+
+@pytest.mark.parametrize("filename,period", CASES,
+                         ids=[c[0] for c in CASES])
+def test_kiter_golden(filename, period):
+    graph = load_graph(DATA / filename)
+    assert throughput_kiter(graph).period == period
+
+
+@pytest.mark.parametrize("filename,period", CASES,
+                         ids=[c[0] for c in CASES])
+def test_symbolic_golden(filename, period):
+    graph = load_graph(DATA / filename)
+    assert throughput_symbolic(graph).period == period
+
+
+@pytest.mark.parametrize("filename,period", CASES[:6],
+                         ids=[c[0] for c in CASES[:6]])
+def test_unfolding_golden(filename, period):
+    graph = load_graph(DATA / filename)
+    assert throughput_unfolding(graph).period == period
+
+
+@pytest.mark.parametrize("filename,period", CASES,
+                         ids=[c[0] for c in CASES])
+def test_periodic_upper_bounds_golden(filename, period):
+    graph = load_graph(DATA / filename)
+    result = throughput_periodic(graph)
+    if result.feasible:
+        assert result.period >= period
+
+
+def test_corpus_is_nonempty():
+    assert len(CASES) >= 10

@@ -1,0 +1,178 @@
+"""Unit tests for JSON / SDF3-XML / DOT serialization."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.generators.paper import figure2_graph
+from repro.io import (
+    constraint_graph_to_dot,
+    graph_from_json,
+    graph_to_dot,
+    graph_to_json,
+    load_graph,
+    read_sdf3_xml,
+    save_graph,
+    write_sdf3_xml,
+)
+from repro.model import csdf, sdf
+
+
+def graphs_equal(a, b) -> bool:
+    if a.task_names() != b.task_names():
+        return False
+    if a.buffer_names() != b.buffer_names():
+        return False
+    for t in a.tasks():
+        if b.task(t.name).durations != t.durations:
+            return False
+    for buf in a.buffers():
+        other = b.buffer(buf.name)
+        if (other.production, other.consumption, other.initial_tokens) != (
+            buf.production, buf.consumption, buf.initial_tokens
+        ):
+            return False
+    return True
+
+
+class TestJson:
+    def test_roundtrip_figure2(self):
+        g = figure2_graph()
+        assert graphs_equal(g, graph_from_json(graph_to_json(g)))
+
+    def test_roundtrip_file(self, tmp_path):
+        g = figure2_graph()
+        path = tmp_path / "fig2.json"
+        save_graph(g, path)
+        assert graphs_equal(g, load_graph(path))
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ModelError):
+            graph_from_json("{not json")
+
+    def test_wrong_format_tag_rejected(self):
+        with pytest.raises(ModelError):
+            graph_from_json('{"format": "something-else", "version": 1}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ModelError):
+            graph_from_json('{"format": "repro-csdf", "version": 99}')
+
+
+class TestSdf3Xml:
+    def test_roundtrip_sdf(self, multirate_cycle):
+        text = write_sdf3_xml(multirate_cycle)
+        back = read_sdf3_xml(text)
+        assert graphs_equal(multirate_cycle, back)
+
+    def test_roundtrip_csdf(self):
+        g = figure2_graph()
+        back = read_sdf3_xml(write_sdf3_xml(g))
+        assert graphs_equal(g, back)
+
+    def test_file_roundtrip(self, tmp_path, csdf_pipeline):
+        path = tmp_path / "g.xml"
+        write_sdf3_xml(csdf_pipeline, path)
+        assert graphs_equal(csdf_pipeline, read_sdf3_xml(path))
+
+    def test_type_attribute(self, multirate_cycle):
+        assert 'type="sdf"' in write_sdf3_xml(multirate_cycle)
+        assert 'type="csdf"' in write_sdf3_xml(figure2_graph())
+
+    def test_star_rate_shorthand(self):
+        xml = """
+        <sdf3 type="csdf" version="1.0">
+          <applicationGraph name="app">
+            <csdf name="g" type="g">
+              <actor name="a" type="a">
+                <port type="out" name="p" rate="2*3,1"/>
+              </actor>
+              <actor name="b" type="b">
+                <port type="in" name="q" rate="7"/>
+              </actor>
+              <channel name="c" srcActor="a" srcPort="p"
+                       dstActor="b" dstPort="q" initialTokens="5"/>
+            </csdf>
+          </applicationGraph>
+        </sdf3>
+        """
+        g = read_sdf3_xml(xml)
+        assert g.buffer("c").production == (2, 2, 2, 1)
+        assert g.buffer("c").initial_tokens == 5
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(ModelError):
+            read_sdf3_xml("<wrong/>")
+
+    def test_throughput_survives_roundtrip(self):
+        from repro.kperiodic import throughput_kiter
+
+        g = figure2_graph()
+        back = read_sdf3_xml(write_sdf3_xml(g))
+        assert throughput_kiter(back).period == throughput_kiter(g).period
+
+
+class TestScheduleFormat:
+    def _schedule(self):
+        from repro.kperiodic import min_period_for_k, throughput_kiter
+
+        g = figure2_graph()
+        exact = throughput_kiter(g)
+        return g, min_period_for_k(g, exact.K).schedule
+
+    def test_roundtrip_exact(self):
+        from repro.io import schedule_from_json, schedule_to_json
+
+        _g, schedule = self._schedule()
+        back = schedule_from_json(schedule_to_json(schedule))
+        assert back.omega == schedule.omega
+        assert back.K == schedule.K
+        assert back.starts == schedule.starts
+        assert back.task_periods == schedule.task_periods
+
+    def test_roundtrip_still_verifies(self):
+        from repro.io import schedule_from_json, schedule_to_json
+
+        g, schedule = self._schedule()
+        back = schedule_from_json(schedule_to_json(schedule))
+        back.verify(g, iterations=3)
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.io import load_schedule, save_schedule
+
+        _g, schedule = self._schedule()
+        path = tmp_path / "sched.json"
+        save_schedule(schedule, path)
+        assert load_schedule(path).omega == schedule.omega
+
+    def test_wrong_tag_rejected(self):
+        from repro.io import schedule_from_json
+
+        with pytest.raises(ModelError):
+            schedule_from_json('{"format": "nope", "version": 1}')
+
+
+class TestDot:
+    def test_graph_dot_mentions_everything(self):
+        text = graph_to_dot(figure2_graph())
+        assert '"A" -> "B"' in text
+        assert "M0=4" in text
+        assert text.startswith("digraph")
+
+    def test_constraint_graph_dot(self):
+        from repro.analysis import build_constraint_graph
+
+        bi, _ = build_constraint_graph(figure2_graph())
+        text = constraint_graph_to_dot(bi)
+        assert "A1" in text and "B3" in text
+        assert "->" in text
+
+    def test_critical_highlight(self):
+        from repro.analysis import build_constraint_graph
+        from repro.mcrp import max_cycle_ratio
+
+        bi, _ = build_constraint_graph(figure2_graph())
+        result = max_cycle_ratio(bi)
+        text = constraint_graph_to_dot(
+            bi, critical_arcs=set(result.cycle_arcs)
+        )
+        assert "color=red" in text

@@ -1,0 +1,96 @@
+"""Unit tests for latency metrics and analytic period bounds."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.bounds import period_bounds
+from repro.analysis.latency import (
+    asap_source_sink_latency,
+    iteration_makespan,
+    schedule_latency_by_task,
+)
+from repro.exceptions import DeadlockError, ModelError
+from repro.generators.paper import figure2_graph
+from repro.kperiodic import min_period_for_k, throughput_kiter
+from repro.model import sdf
+from tests.conftest import make_random_live_graph
+
+
+class TestBounds:
+    def test_two_stage(self):
+        g = sdf({"A": 2, "B": 3}, [("A", "B", 1, 1, 0)])
+        b = period_bounds(g)
+        assert b.lower == 3 and b.upper == 5
+        assert b.bottleneck_task == "B"
+
+    def test_bracket_exact_period(self):
+        for seed in range(10):
+            g = make_random_live_graph(seed, tasks=4)
+            exact = throughput_kiter(g).period
+            bounds = period_bounds(g)
+            assert bounds.contains(exact), (seed, exact, bounds)
+
+    def test_single_task_tight(self):
+        g = sdf({"A": 7}, [])
+        b = period_bounds(g)
+        assert b.is_tight and b.lower == 7
+
+    def test_multirate_weighting(self):
+        # q = [3, 2]: A's workload 3·1, B's 2·5
+        g = sdf({"A": 1, "B": 5}, [("A", "B", 2, 3, 0)])
+        b = period_bounds(g)
+        assert b.lower == 10 and b.bottleneck_task == "B"
+
+
+class TestIterationMakespan:
+    def test_two_task_cycle(self, two_task_cycle):
+        s = min_period_for_k(two_task_cycle, {"A": 1, "B": 1}).schedule
+        assert iteration_makespan(s, two_task_cycle) == 2
+
+    def test_steady_state_constant(self):
+        g = figure2_graph()
+        r = throughput_kiter(g, build_schedule=True)
+        spans = {
+            it: iteration_makespan(r.schedule, g, iteration=it)
+            for it in (2, 3, 5)
+        }
+        assert len(set(spans.values())) == 1
+
+    def test_bad_iteration_rejected(self, two_task_cycle):
+        s = min_period_for_k(two_task_cycle, {"A": 1, "B": 1}).schedule
+        with pytest.raises(ModelError):
+            iteration_makespan(s, two_task_cycle, iteration=0)
+
+    def test_makespan_at_least_period(self):
+        # one iteration cannot finish faster than the period when work
+        # from the bottleneck fills it
+        g = figure2_graph()
+        r = throughput_kiter(g, build_schedule=True)
+        assert iteration_makespan(r.schedule, g) >= r.period
+
+    def test_by_task_spans(self, multirate_cycle):
+        s = min_period_for_k(multirate_cycle, {"A": 1, "B": 1}).schedule
+        spans = schedule_latency_by_task(s, multirate_cycle)
+        assert set(spans) == {"A", "B"}
+        assert all(v > 0 for v in spans.values())
+
+
+class TestAsapLatency:
+    def test_pipeline_latency_adds_up(self):
+        g = sdf({"A": 2, "B": 3, "C": 4},
+                [("A", "B", 1, 1, 0), ("B", "C", 1, 1, 0)])
+        assert asap_source_sink_latency(g, "A", "C") == 9
+
+    def test_initial_tokens_cut_latency(self):
+        g = sdf({"A": 2, "B": 3}, [("A", "B", 1, 1, 1)])
+        # B fires immediately off the initial token
+        assert asap_source_sink_latency(g, "A", "B") == 3
+
+    def test_deadlock_reported(self, deadlocked_cycle):
+        with pytest.raises(DeadlockError):
+            asap_source_sink_latency(deadlocked_cycle, "A", "B")
+
+    def test_unknown_task_rejected(self, two_task_cycle):
+        with pytest.raises(ModelError):
+            asap_source_sink_latency(two_task_cycle, "A", "nope")

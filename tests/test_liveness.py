@@ -1,0 +1,74 @@
+"""Unit tests for liveness analysis."""
+
+import pytest
+
+from repro.analysis import is_live
+from repro.exceptions import DeadlockError
+from repro.generators.paper import figure2_graph
+from repro.model import csdf, sdf
+
+
+class TestBasicLiveness:
+    def test_marked_cycle_live(self, two_task_cycle):
+        assert is_live(two_task_cycle)
+
+    def test_unmarked_cycle_dead(self, deadlocked_cycle):
+        assert not is_live(deadlocked_cycle)
+
+    def test_dag_always_live(self):
+        g = sdf({"A": 1, "B": 1, "C": 1},
+                [("A", "B", 3, 2, 0), ("B", "C", 1, 4, 0)])
+        assert is_live(g)
+
+    def test_inconsistent_not_live(self):
+        g = sdf({"A": 1, "B": 1},
+                [("A", "B", 1, 1, 0), ("B", "A", 2, 1, 4)])
+        assert not is_live(g)
+
+    def test_figure2_live(self):
+        assert is_live(figure2_graph())
+
+    def test_undermarked_multirate_cycle(self):
+        # with 3 tokens A fires once then everything starves; 4 tokens
+        # let the full iteration (3 A firings, 2 B firings) complete
+        g = sdf({"A": 1, "B": 1},
+                [("A", "B", 2, 3, 0), ("B", "A", 3, 2, 3)])
+        assert not is_live(g)
+        g_ok = sdf({"A": 1, "B": 1},
+                   [("A", "B", 2, 3, 0), ("B", "A", 3, 2, 4)])
+        assert is_live(g_ok)
+
+    def test_self_loop_needs_tokens(self):
+        g = csdf({"A": [1, 1]}, [("A", "A", [1, 1], [1, 1], 0)])
+        assert not is_live(g)
+        g_ok = csdf({"A": [1, 1]}, [("A", "A", [1, 1], [1, 1], 1)])
+        assert is_live(g_ok)
+
+    def test_zero_rate_phases_enable_liveness(self):
+        # unmarked 2-cycle that is live thanks to a zero first phase
+        g = csdf(
+            {"A": [1, 1], "B": [1]},
+            [("A", "B", [1, 0], [1], 0), ("B", "A", [1], [0, 1], 0)],
+        )
+        assert is_live(g)
+
+
+class TestLivenessMatchesMcrp:
+    """Liveness and Theorem 2 feasibility must agree at K = q."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_on_random_graphs(self, seed):
+        from tests.conftest import make_random_live_graph
+        from repro.analysis import repetition_vector
+        from repro.kperiodic import min_period_for_k
+
+        g = make_random_live_graph(seed)
+        assert is_live(g)
+        q = repetition_vector(g)
+        min_period_for_k(g, q)  # must not raise DeadlockError
+
+    def test_dead_graph_raises_at_full_k(self, deadlocked_cycle):
+        from repro.kperiodic import min_period_for_k
+
+        with pytest.raises(DeadlockError):
+            min_period_for_k(deadlocked_cycle, {"A": 1, "B": 1})

@@ -1,0 +1,149 @@
+"""Unit + semantic tests for the mapping subsystem."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import is_live, period_bounds, repetition_vector
+from repro.exceptions import DeadlockError, ModelError
+from repro.generators.paper import figure2_graph
+from repro.kperiodic import throughput_kiter
+from repro.mapping import (
+    Mapping,
+    admissible_static_order,
+    apply_mapping,
+    greedy_load_balance,
+    throughput_under_mapping,
+)
+from repro.model import sdf
+
+
+@pytest.fixture
+def chain():
+    return sdf(
+        {"A": 2, "B": 3, "C": 1},
+        [("A", "B", 1, 1, 0), ("B", "C", 1, 2, 0)],
+        name="chain",
+    )
+
+
+class TestMappingModel:
+    def test_validate_coverage(self, chain):
+        q = repetition_vector(chain)
+        bad = Mapping(assignment={"A": "p0"}, orders={"p0": ["A"] * q["A"]})
+        with pytest.raises(ModelError):
+            bad.validate(chain, q)
+
+    def test_validate_multiplicities(self, chain):
+        q = repetition_vector(chain)
+        mapping = Mapping.single_processor(chain, ["A", "B", "C"])
+        # q = [2, 2, 1]: one occurrence of A is missing
+        if q["A"] != 1:
+            with pytest.raises(ModelError):
+                mapping.validate(chain, q)
+
+    def test_fully_parallel_valid(self, chain):
+        q = repetition_vector(chain)
+        Mapping.fully_parallel(chain).validate(chain, q)
+
+
+class TestAdmissibleOrder:
+    def test_pass_multiplicities(self, chain):
+        q = repetition_vector(chain)
+        order = admissible_static_order(chain)
+        for t, qt in q.items():
+            assert order.count(t) == qt
+
+    def test_figure2_needs_phase_granularity(self):
+        """The running example is live only through phase interleaving:
+        no iteration-granular sequential order exists."""
+        with pytest.raises(DeadlockError):
+            admissible_static_order(figure2_graph())
+        order = admissible_static_order(
+            figure2_graph(), granularity="phase"
+        )
+        # Σ q_t·ϕ(t) = 3·2 + 4·3 + 6·1 + 1·1 = 25 phase firings
+        assert len(order) == 25
+
+    def test_deadlocked_graph_rejected(self, deadlocked_cycle):
+        with pytest.raises(DeadlockError):
+            admissible_static_order(deadlocked_cycle)
+        with pytest.raises(DeadlockError):
+            admissible_static_order(deadlocked_cycle, granularity="phase")
+
+
+class TestTransform:
+    def test_scheduler_task_added(self, chain):
+        order = admissible_static_order(chain)
+        mapped = apply_mapping(chain, Mapping.single_processor(chain, order))
+        assert mapped.has_task("__sched_cpu0")
+        sched = mapped.task("__sched_cpu0")
+        assert sched.phase_count == len(order)
+        assert sched.iteration_duration == 0
+
+    def test_single_task_processor_untouched(self, chain):
+        mapped = apply_mapping(chain, Mapping.fully_parallel(chain))
+        assert mapped.task_count == chain.task_count
+
+    def test_mapped_graph_consistent_and_live(self, chain):
+        order = admissible_static_order(chain)
+        mapped = apply_mapping(chain, Mapping.single_processor(chain, order))
+        assert repetition_vector(mapped)["__sched_cpu0"] == 1
+        assert is_live(mapped)
+
+
+class TestSemantics:
+    def test_single_processor_hits_sequential_bound(self, chain):
+        """One processor: the period equals the total workload."""
+        order = admissible_static_order(chain)
+        mapping = Mapping.single_processor(chain, order)
+        result, _ = throughput_under_mapping(chain, mapping)
+        assert result.period == period_bounds(chain).upper
+
+    def test_fully_parallel_equals_unmapped(self, chain):
+        result, _ = throughput_under_mapping(
+            chain, Mapping.fully_parallel(chain)
+        )
+        assert result.period == throughput_kiter(chain).period
+
+    def test_mapping_never_helps(self):
+        g = figure2_graph()
+        unmapped = throughput_kiter(g).period
+        for procs in (1, 2, 3):
+            mapping = greedy_load_balance(g, procs)
+            result, _ = throughput_under_mapping(g, mapping)
+            assert result.period >= unmapped
+
+    def test_more_processors_never_hurt_greedy(self, chain):
+        periods = []
+        for procs in (1, 2, 3):
+            mapping = greedy_load_balance(chain, procs)
+            result, _ = throughput_under_mapping(chain, mapping)
+            periods.append(result.period)
+        # LPT with more processors can in pathological cases regress, but
+        # on a simple chain the trend must be monotone.
+        assert periods[0] >= periods[1] >= periods[2]
+
+    def test_inadmissible_order_detected(self):
+        # B scheduled entirely before A on one processor, but B needs
+        # A's tokens: inadmissible.
+        g = sdf({"A": 1, "B": 1}, [("A", "B", 1, 1, 0)], name="ab")
+        mapping = Mapping.single_processor(g, ["B", "A"])
+        with pytest.raises(DeadlockError):
+            throughput_under_mapping(g, mapping)
+
+
+class TestGreedyBalance:
+    def test_processor_count_respected(self):
+        g = figure2_graph()
+        mapping = greedy_load_balance(g, 2)
+        assert len(mapping.processors()) <= 2
+
+    def test_zero_processors_rejected(self, chain):
+        with pytest.raises(ModelError):
+            greedy_load_balance(chain, 0)
+
+    def test_orders_are_restrictions(self, chain):
+        mapping = greedy_load_balance(chain, 2)
+        q = repetition_vector(chain)
+        mapping.validate(chain, q)

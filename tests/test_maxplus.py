@@ -1,0 +1,172 @@
+"""Unit + spectral-theory tests for the max-plus module."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ModelError, SolverError
+from repro.maxplus import (
+    MaxPlusMatrix,
+    eigenvalue,
+    spectral_analysis,
+    state_matrix_from_marked_graph,
+    throughput_maxplus,
+)
+from repro.mcrp.graph import BiValuedGraph
+
+
+class TestMatrixAlgebra:
+    def test_identity_is_neutral(self):
+        a = MaxPlusMatrix([[1, None], [3, 0]])
+        i = MaxPlusMatrix.identity(2)
+        assert (a @ i) == a
+        assert (i @ a) == a
+
+    def test_multiplication(self):
+        a = MaxPlusMatrix([[0, 2], [None, 1]])
+        b = MaxPlusMatrix([[1, None], [0, 0]])
+        c = a @ b
+        # c[0][0] = max(0+1, 2+0) = 2
+        assert c.rows[0][0] == 2
+        assert c.rows[0][1] == 2
+        assert c.rows[1][0] == 1
+
+    def test_epsilon_annihilates(self):
+        a = MaxPlusMatrix([[None, None], [None, None]])
+        b = MaxPlusMatrix([[5, 5], [5, 5]])
+        assert (a @ b) == MaxPlusMatrix.epsilon_matrix(2)
+
+    def test_oplus(self):
+        a = MaxPlusMatrix([[1, None], [0, 2]])
+        b = MaxPlusMatrix([[0, 7], [None, 1]])
+        s = a.oplus(b)
+        assert s.rows == MaxPlusMatrix([[1, 7], [0, 2]]).rows
+
+    def test_power(self):
+        ring = MaxPlusMatrix([[None, 2], [3, None]])
+        assert ring.power(2).rows[0][0] == 5
+        assert ring.power(0) == MaxPlusMatrix.identity(2)
+
+    def test_kleene_star_converges(self):
+        a = MaxPlusMatrix([[None, -1], [-2, None]])  # all cycles < 0
+        star = a.kleene_star()
+        assert star.rows[0][0] == 0  # identity dominates
+        assert star.rows[0][1] == -1
+
+    def test_kleene_star_diverges_on_positive_cycle(self):
+        a = MaxPlusMatrix([[1]])
+        with pytest.raises(ValueError):
+            a.kleene_star()
+
+    def test_apply(self):
+        a = MaxPlusMatrix([[0, 2], [None, 1]])
+        assert a.apply([0, 0]) == [2, 1]
+        assert a.apply([None, 5]) == [7, 6]
+
+    def test_square_enforced(self):
+        with pytest.raises(ValueError):
+            MaxPlusMatrix([[1, 2]])
+
+
+class TestSpectral:
+    def test_two_cycle_eigenvalue(self):
+        a = MaxPlusMatrix([[None, 2], [4, None]])
+        assert eigenvalue(a) == 3
+
+    def test_acyclic_has_no_eigenvalue(self):
+        a = MaxPlusMatrix([[None, 1], [None, None]])
+        assert eigenvalue(a) is None
+        with pytest.raises(SolverError):
+            spectral_analysis(a)
+
+    def test_negative_entries_handled(self):
+        a = MaxPlusMatrix([[None, -2], [-4, None]])
+        assert eigenvalue(a) == -3
+
+    def test_eigenvector_property_irreducible(self):
+        a = MaxPlusMatrix([
+            [None, 2, None],
+            [None, None, 1],
+            [3, None, None],
+        ])
+        result = spectral_analysis(a)
+        assert result.eigenvalue == 2
+        assert all(r == 0 for r in result.residual(a)
+                   if r is not None)
+        image = a.apply(result.eigenvector)
+        expected = [
+            None if v is None else v + result.eigenvalue
+            for v in result.eigenvector
+        ]
+        assert image == expected
+
+    def test_eigenvector_on_random_strongly_connected(self):
+        import random
+
+        rng = random.Random(9)
+        n = 6
+        rows = [[None] * n for _ in range(n)]
+        for i in range(n):  # ring guarantees strong connectivity
+            rows[(i + 1) % n][i] = Fraction(rng.randint(0, 9))
+        for _ in range(10):
+            rows[rng.randrange(n)][rng.randrange(n)] = Fraction(
+                rng.randint(0, 9)
+            )
+        a = MaxPlusMatrix(rows)
+        result = spectral_analysis(a)
+        image = a.apply(result.eigenvector)
+        for img, v in zip(image, result.eigenvector):
+            assert img == v + result.eigenvalue
+
+
+class TestStateMatrix:
+    def test_zero_delay_folding(self):
+        # u --(0 tokens, cost 2)--> v, v --(1 token, cost 3)--> u
+        g = BiValuedGraph(2, labels=["u", "v"])
+        g.add_arc(0, 1, 2, 0)
+        g.add_arc(1, 0, 3, 1)
+        matrix, labels = state_matrix_from_marked_graph(g)
+        assert len(labels) == 2
+        # x_u(k) = x_v(k−1) + 3 ; x_v(k) = x_u(k) + 2 = x_v(k−1) + 5
+        assert matrix.rows[0][1] == 3
+        assert matrix.rows[1][1] == 5
+        assert eigenvalue(matrix) == 5
+
+    def test_multi_token_chain_expansion(self):
+        g = BiValuedGraph(1, labels=["t"])
+        g.add_arc(0, 0, 4, 3)  # self-arc with 3 tokens: mean 4/3
+        matrix, labels = state_matrix_from_marked_graph(g)
+        assert len(labels) == 3  # t + 2 delay nodes
+        assert eigenvalue(matrix) == Fraction(4, 3)
+
+    def test_fractional_delay_rejected(self):
+        g = BiValuedGraph(1)
+        g.add_arc(0, 0, 1, Fraction(1, 2))
+        with pytest.raises(ModelError):
+            state_matrix_from_marked_graph(g)
+
+    def test_zero_delay_cycle_rejected(self):
+        g = BiValuedGraph(2)
+        g.add_arc(0, 1, 1, 0)
+        g.add_arc(1, 0, 1, 0)
+        with pytest.raises(ModelError):
+            state_matrix_from_marked_graph(g)
+
+
+class TestThroughputEngine:
+    def test_figure2(self):
+        from repro.generators.paper import figure2_graph
+
+        assert throughput_maxplus(figure2_graph()).period == 13
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_kiter_on_random_graphs(self, seed):
+        from repro.kperiodic import throughput_kiter
+        from tests.conftest import make_random_live_graph
+
+        g = make_random_live_graph(seed, tasks=3)
+        mp = throughput_maxplus(g)
+        assert mp.period == throughput_kiter(g).period
+
+    def test_two_task_cycle(self, two_task_cycle):
+        assert throughput_maxplus(two_task_cycle).period == 2

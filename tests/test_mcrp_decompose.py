@@ -1,0 +1,100 @@
+"""Unit tests for SCC-decomposed MCRP solving."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import DeadlockError
+from repro.mcrp import BiValuedGraph, max_cycle_ratio
+from repro.mcrp.decompose import (
+    max_cycle_ratio_sccs,
+    strongly_connected_node_sets,
+)
+
+
+def two_rings_bridged():
+    """ring(0,1) ratio 2, bridge, ring(3,4) ratio 7."""
+    g = BiValuedGraph(5)
+    g.add_arc(0, 1, 2, 1)
+    g.add_arc(1, 0, 2, 1)
+    g.add_arc(1, 2, 100, 1)  # bridge arcs never matter
+    g.add_arc(2, 3, 100, 1)
+    g.add_arc(3, 4, 7, 1)
+    g.add_arc(4, 3, 7, 1)
+    return g
+
+
+class TestSccSets:
+    def test_components_found(self):
+        comps = strongly_connected_node_sets(two_rings_bridged())
+        sets = {frozenset(c) for c in comps}
+        assert frozenset({0, 1}) in sets
+        assert frozenset({3, 4}) in sets
+
+    def test_largest_first(self):
+        g = BiValuedGraph(4)
+        g.add_arc(0, 1, 1, 1)
+        g.add_arc(1, 2, 1, 1)
+        g.add_arc(2, 0, 1, 1)
+        g.add_arc(3, 3, 1, 1)
+        comps = strongly_connected_node_sets(g)
+        assert len(comps[0]) == 3
+
+
+class TestDecomposedSolve:
+    def test_matches_monolithic(self):
+        g = two_rings_bridged()
+        assert max_cycle_ratio_sccs(g).ratio == max_cycle_ratio(g).ratio == 7
+
+    def test_circuit_indices_are_global(self):
+        g = two_rings_bridged()
+        result = max_cycle_ratio_sccs(g)
+        g.check_cycle(result.cycle_arcs)
+        assert set(result.cycle_nodes) == {3, 4}
+
+    def test_champion_pruning_with_seed(self):
+        g = two_rings_bridged()
+        # a certified seed just under the answer must not change it
+        result = max_cycle_ratio_sccs(g, lower_bound=Fraction(13, 2))
+        assert result.ratio == 7
+
+    def test_seed_above_small_ring_skips_it(self):
+        g = two_rings_bridged()
+        result = max_cycle_ratio_sccs(g, lower_bound=Fraction(3))
+        assert result.ratio == 7
+
+    def test_acyclic(self):
+        g = BiValuedGraph(3)
+        g.add_arc(0, 1, 5, 1)
+        g.add_arc(1, 2, 5, 1)
+        assert max_cycle_ratio_sccs(g).is_acyclic
+
+    def test_deadlock_nodes_remapped(self):
+        g = BiValuedGraph(4)
+        g.add_arc(0, 1, 1, 1)  # healthy ring in nodes 0,1
+        g.add_arc(1, 0, 1, 1)
+        g.add_arc(2, 3, 1, Fraction(-1))  # deadlocked ring in 2,3
+        g.add_arc(3, 2, 1, 0)
+        with pytest.raises(DeadlockError) as err:
+            max_cycle_ratio_sccs(g)
+        assert set(err.value.cycle_nodes) <= {2, 3}
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_agreement_with_monolithic(self, seed):
+        rng = random.Random(seed + 5_000)
+        n = rng.randint(2, 16)
+        g = BiValuedGraph(n)
+        for _ in range(rng.randint(n, 4 * n)):
+            g.add_arc(
+                rng.randrange(n), rng.randrange(n),
+                rng.randint(0, 9),
+                Fraction(rng.randint(-1, 6), rng.randint(1, 3)),
+            )
+        try:
+            mono = max_cycle_ratio(g).ratio
+        except DeadlockError:
+            with pytest.raises(DeadlockError):
+                max_cycle_ratio_sccs(g)
+            return
+        assert max_cycle_ratio_sccs(g).ratio == mono

@@ -1,0 +1,91 @@
+"""Unit tests for repro.model.buffer (incl. the paper's Figure 1 numbers)."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import Buffer
+
+
+@pytest.fixture
+def figure1() -> Buffer:
+    """The paper's Figure 1 buffer: in=[2,3,1], out=[2,5], M0=0."""
+    return Buffer("b", "t", "u", (2, 3, 1), (2, 5), 0)
+
+
+class TestConstruction:
+    def test_totals(self, figure1):
+        assert figure1.total_production == 6
+        assert figure1.total_consumption == 7
+
+    def test_rate_gcd(self, figure1):
+        assert figure1.rate_gcd == 1
+
+    def test_rate_gcd_nontrivial(self):
+        b = Buffer("b", "t", "u", (4, 2), (3,), 0)
+        assert b.rate_gcd == 3
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ModelError):
+            Buffer("b", "t", "u", (), (1,), 0)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ModelError):
+            Buffer("b", "t", "u", (1, -1), (1,), 0)
+
+    def test_all_zero_production_rejected(self):
+        with pytest.raises(ModelError):
+            Buffer("b", "t", "u", (0, 0), (1,), 0)
+
+    def test_negative_marking_rejected(self):
+        with pytest.raises(ModelError):
+            Buffer("b", "t", "u", (1,), (1,), -1)
+
+    def test_zero_phase_rates_allowed(self):
+        b = Buffer("b", "t", "u", (0, 2), (1, 0), 0)
+        assert b.total_production == 2
+
+
+class TestCumulativeCounts:
+    def test_produced_prefix(self, figure1):
+        assert figure1.produced_upto(1, 1) == 2
+        assert figure1.produced_upto(2, 1) == 5
+        assert figure1.produced_upto(3, 1) == 6
+
+    def test_produced_across_iterations(self, figure1):
+        # Ia⟨t_1, 2⟩ = 2 + 6 = 8 (used in the paper's §3.1 example)
+        assert figure1.produced_upto(1, 2) == 8
+
+    def test_consumed_prefix(self, figure1):
+        assert figure1.consumed_upto(1, 1) == 2
+        assert figure1.consumed_upto(2, 1) == 7
+
+    def test_paper_executability_example(self, figure1):
+        # ⟨t'_2,1⟩ can be done at the completion of ⟨t_1,2⟩:
+        # M0 + Ia⟨t_1,2⟩ − Oa⟨t'_2,1⟩ = 0 + 8 − 7 ≥ 0 (but only just).
+        margin = (
+            figure1.initial_tokens
+            + figure1.produced_upto(1, 2)
+            - figure1.consumed_upto(2, 1)
+        )
+        assert margin == 1
+
+    def test_bad_phase_rejected(self, figure1):
+        with pytest.raises(ModelError):
+            figure1.produced_upto(4, 1)
+        with pytest.raises(ModelError):
+            figure1.consumed_upto(3, 1)
+        with pytest.raises(ModelError):
+            figure1.produced_upto(1, 0)
+
+
+class TestReversal:
+    def test_reversed_swaps_roles(self, figure1):
+        rev = figure1.reversed("rb", 9)
+        assert rev.source == "u" and rev.target == "t"
+        assert rev.production == (2, 5)
+        assert rev.consumption == (2, 3, 1)
+        assert rev.initial_tokens == 9
+
+    def test_self_loop_detection(self):
+        assert Buffer("b", "t", "t", (1,), (1,), 1).is_self_loop()
+        assert not Buffer("b", "t", "u", (1,), (1,), 1).is_self_loop()

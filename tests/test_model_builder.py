@@ -1,0 +1,82 @@
+"""Unit tests for repro.model.builder."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import GraphBuilder, build_graph, csdf, hsdf, sdf
+
+
+class TestBuildGraph:
+    def test_scalar_rates_replicated(self):
+        g = build_graph("g", {"A": [1, 1], "B": 2}, [("A", "B", 3, 5, 0)])
+        assert g.buffer("A_B_0").production == (3, 3)
+        assert g.buffer("A_B_0").consumption == (5,)
+
+    def test_vector_rates(self):
+        g = build_graph("g", {"A": [1, 1]}, [("A", "A", [1, 0], [0, 1], 1)])
+        assert g.buffer("A_A_0").production == (1, 0)
+
+    def test_rate_length_checked(self):
+        with pytest.raises(ModelError):
+            build_graph("g", {"A": [1, 1], "B": 1}, [("A", "B", [3], 1, 0)])
+
+    def test_bad_edge_arity(self):
+        with pytest.raises(ModelError):
+            build_graph("g", {"A": 1, "B": 1}, [("A", "B", 1, 1)])
+
+    def test_parallel_edges_get_distinct_names(self):
+        g = build_graph(
+            "g", {"A": 1, "B": 1},
+            [("A", "B", 1, 1, 0), ("A", "B", 2, 2, 0)],
+        )
+        assert g.has_buffer("A_B_0") and g.has_buffer("A_B_1")
+
+
+class TestShorthands:
+    def test_sdf_rejects_vector_durations(self):
+        with pytest.raises(ModelError):
+            sdf({"A": [1, 2]}, [])
+
+    def test_sdf_builds_single_phase(self):
+        g = sdf({"A": 3}, [])
+        assert g.task("A").durations == (3,)
+
+    def test_hsdf_unit_rates(self):
+        g = hsdf({"A": 1, "B": 1}, [("A", "B", 4)])
+        b = g.buffer("A_B_0")
+        assert b.production == (1,) and b.consumption == (1,)
+        assert b.initial_tokens == 4
+        assert g.is_hsdf()
+
+    def test_csdf_shorthand(self):
+        g = csdf({"A": [1, 2]}, [("A", "A", [1, 1], [1, 1], 2)], name="x")
+        assert g.name == "x"
+        assert g.task("A").phase_count == 2
+
+
+class TestGraphBuilder:
+    def test_fluent_chain(self):
+        g = (
+            GraphBuilder("fb")
+            .task("A", [1, 1])
+            .task("B")
+            .buffer("A", "B", [1, 2], 3, tokens=4)
+            .build()
+        )
+        assert g.buffer("A_B_0").initial_tokens == 4
+        assert g.buffer("A_B_0").consumption == (3,)
+
+    def test_build_twice_rejected(self):
+        b = GraphBuilder().task("A")
+        b.build()
+        with pytest.raises(ModelError):
+            b.build()
+
+    def test_custom_buffer_name(self):
+        g = (
+            GraphBuilder()
+            .task("A")
+            .buffer("A", "A", 1, 1, tokens=1, name="loop")
+            .build()
+        )
+        assert g.has_buffer("loop")

@@ -1,0 +1,117 @@
+"""Unit tests for repro.model.graph."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import Buffer, CsdfGraph, Task
+
+
+def small_graph() -> CsdfGraph:
+    g = CsdfGraph("g")
+    g.add_task(Task("A", (1, 1)))
+    g.add_task(Task("B", (2,)))
+    g.add_buffer(Buffer("ab", "A", "B", (1, 2), (3,), 0))
+    return g
+
+
+class TestInsertion:
+    def test_counts(self):
+        g = small_graph()
+        assert g.task_count == 2
+        assert g.buffer_count == 1
+
+    def test_duplicate_task_rejected(self):
+        g = small_graph()
+        with pytest.raises(ModelError):
+            g.add_task(Task("A", (1,)))
+
+    def test_duplicate_buffer_rejected(self):
+        g = small_graph()
+        with pytest.raises(ModelError):
+            g.add_buffer(Buffer("ab", "A", "B", (1, 1), (1,), 0))
+
+    def test_unknown_endpoint_rejected(self):
+        g = small_graph()
+        with pytest.raises(ModelError):
+            g.add_buffer(Buffer("x", "A", "Z", (1, 1), (1,), 0))
+
+    def test_rate_length_mismatch_rejected(self):
+        g = small_graph()
+        with pytest.raises(ModelError) as err:
+            g.add_buffer(Buffer("bad", "A", "B", (1,), (1,), 0))
+        assert "phases" in str(err.value)
+
+    def test_unknown_lookups(self):
+        g = small_graph()
+        with pytest.raises(ModelError):
+            g.task("Z")
+        with pytest.raises(ModelError):
+            g.buffer("zz")
+
+
+class TestTopology:
+    def test_in_out_buffers(self):
+        g = small_graph()
+        assert [b.name for b in g.out_buffers("A")] == ["ab"]
+        assert [b.name for b in g.in_buffers("B")] == ["ab"]
+        assert g.out_buffers("B") == []
+
+    def test_total_phase_count(self):
+        assert small_graph().total_phase_count() == 3
+
+    def test_is_sdf_and_hsdf(self):
+        g = small_graph()
+        assert not g.is_sdf()
+        h = CsdfGraph("h")
+        h.add_task(Task("X", (1,)))
+        h.add_task(Task("Y", (1,)))
+        h.add_buffer(Buffer("xy", "X", "Y", (1,), (1,), 0))
+        assert h.is_sdf() and h.is_hsdf()
+        h2 = CsdfGraph("h2")
+        h2.add_task(Task("X", (1,)))
+        h2.add_task(Task("Y", (1,)))
+        h2.add_buffer(Buffer("xy", "X", "Y", (2,), (1,), 0))
+        assert h2.is_sdf() and not h2.is_hsdf()
+
+
+class TestSerializationLoops:
+    def test_loops_added_for_every_task(self):
+        g = small_graph().with_serialization_loops()
+        assert g.has_buffer("__serial_A")
+        assert g.has_buffer("__serial_B")
+        loop = g.buffer("__serial_A")
+        assert loop.production == (1, 1)
+        assert loop.consumption == (1, 1)
+        assert loop.initial_tokens == 1
+        assert loop.serialization
+
+    def test_idempotent(self):
+        g = small_graph().with_serialization_loops()
+        again = g.with_serialization_loops()
+        assert again.buffer_count == g.buffer_count
+
+    def test_added_even_with_custom_self_loop(self):
+        g = small_graph()
+        g.add_buffer(Buffer("self_A", "A", "A", (1, 0), (0, 1), 2))
+        s = g.with_serialization_loops()
+        assert s.has_buffer("__serial_A")
+        assert s.has_buffer("self_A")
+
+    def test_without_serialization_loops_roundtrip(self):
+        g = small_graph()
+        s = g.with_serialization_loops()
+        back = s.without_serialization_loops()
+        assert back.buffer_count == g.buffer_count
+        assert set(back.buffer_names()) == set(g.buffer_names())
+
+    def test_copy_is_structural(self):
+        g = small_graph()
+        c = g.copy("copy")
+        c.add_task(Task("C", (1,)))
+        assert g.task_count == 2 and c.task_count == 3
+
+
+class TestSummary:
+    def test_summary_mentions_everything(self):
+        text = small_graph().summary()
+        assert "A" in text and "ab" in text and "M0=0" in text

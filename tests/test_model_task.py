@@ -1,0 +1,66 @@
+"""Unit tests for repro.model.task."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import Task
+
+
+class TestTaskConstruction:
+    def test_single_phase_default(self):
+        t = Task("A")
+        assert t.phase_count == 1
+        assert t.durations == (1,)
+
+    def test_multi_phase(self):
+        t = Task("B", (1, 2, 3))
+        assert t.phase_count == 3
+        assert t.iteration_duration == 6
+
+    def test_durations_coerced_to_ints(self):
+        t = Task("C", [True, 2])  # bools are ints; list accepted
+        assert t.durations == (1, 2)
+
+    def test_zero_duration_allowed(self):
+        assert Task("D", (0, 0)).iteration_duration == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Task("", (1,))
+
+    def test_empty_durations_rejected(self):
+        with pytest.raises(ModelError):
+            Task("E", ())
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ModelError):
+            Task("F", (1, -1))
+
+
+class TestTaskAccessors:
+    def test_duration_is_one_based(self):
+        t = Task("A", (5, 7))
+        assert t.duration(1) == 5
+        assert t.duration(2) == 7
+
+    def test_duration_out_of_range(self):
+        t = Task("A", (5,))
+        with pytest.raises(ModelError):
+            t.duration(0)
+        with pytest.raises(ModelError):
+            t.duration(2)
+
+    def test_is_sdf(self):
+        assert Task("A", (3,)).is_sdf()
+        assert not Task("A", (3, 3)).is_sdf()
+
+    def test_with_durations(self):
+        t = Task("A", (1, 2))
+        u = t.with_durations((9, 9))
+        assert u.name == "A" and u.durations == (9, 9)
+        assert t.durations == (1, 2)  # original untouched
+
+    def test_equality_and_hash(self):
+        assert Task("A", (1, 2)) == Task("A", (1, 2))
+        assert hash(Task("A", (1, 2))) == hash(Task("A", (1, 2)))
+        assert Task("A", (1, 2)) != Task("A", (2, 1))

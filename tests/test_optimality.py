@@ -1,0 +1,82 @@
+"""Unit tests for the Theorem 4 optimality test and the K update rule."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.kperiodic.optimality import (
+    critical_qbar,
+    optimality_test,
+    update_periodicity,
+)
+
+
+class TestQbar:
+    def test_gcd_normalization(self):
+        q = {"A": 6, "B": 12, "C": 6, "D": 1}
+        assert critical_qbar(q, ["A", "C", "D"]) == {"A": 6, "C": 6, "D": 1}
+        assert critical_qbar(q, ["A", "B", "C"]) == {"A": 1, "B": 2, "C": 1}
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ModelError):
+            critical_qbar({"A": 1}, [])
+
+    def test_single_task_circuit(self):
+        # gcd of one value is itself → q̄ = 1: self-loops always pass
+        assert critical_qbar({"A": 42}, ["A"]) == {"A": 1}
+
+
+class TestOptimalityTest:
+    def test_passes_when_k_multiple(self):
+        ok, _ = optimality_test(
+            {"A": 2, "B": 4}, {"A": 1, "B": 2}, ["A", "B"]
+        )
+        assert ok
+
+    def test_fails_otherwise(self):
+        ok, qbar = optimality_test(
+            {"A": 6, "B": 12}, {"A": 1, "B": 1}, ["A", "B"]
+        )
+        assert not ok
+        assert qbar == {"A": 1, "B": 2}
+
+    def test_k_equal_q_always_passes(self):
+        q = {"A": 6, "B": 9, "C": 4}
+        for circuit in (["A"], ["A", "B"], ["A", "B", "C"]):
+            ok, _ = optimality_test(q, dict(q), circuit)
+            assert ok
+
+    def test_non_circuit_tasks_ignored(self):
+        # B's K is irrelevant when the circuit is {A}
+        ok, _ = optimality_test({"A": 4, "B": 5}, {"A": 1, "B": 1}, ["A"])
+        assert ok
+
+
+class TestUpdateRule:
+    def test_lcm_update(self):
+        K = {"A": 2, "B": 3, "C": 1}
+        qbar = {"A": 3, "B": 2}
+        updated = update_periodicity(K, qbar)
+        assert updated == {"A": 6, "B": 6, "C": 1}
+
+    def test_update_preserves_divisibility_of_q(self):
+        # K entries stay divisors of q when they start as divisors
+        q = {"A": 12, "B": 18}
+        K = {"A": 2, "B": 3}
+        qbar = critical_qbar(q, ["A", "B"])
+        updated = update_periodicity(K, qbar)
+        for t in q:
+            assert q[t] % updated[t] == 0
+
+    def test_update_makes_test_pass(self):
+        q = {"A": 6, "B": 12, "C": 6}
+        K = {"A": 1, "B": 1, "C": 1}
+        ok, qbar = optimality_test(q, K, ["A", "B", "C"])
+        assert not ok
+        K2 = update_periodicity(K, qbar)
+        ok2, _ = optimality_test(q, K2, ["A", "B", "C"])
+        assert ok2
+
+    def test_original_k_untouched(self):
+        K = {"A": 1}
+        update_periodicity(K, {"A": 5})
+        assert K == {"A": 1}

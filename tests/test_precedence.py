@@ -1,0 +1,187 @@
+"""Unit tests for the Theorem 2 machinery (Q, α, β, useful pairs).
+
+Includes a brute-force oracle: a pair (p, p') should generate a
+constraint precisely when the dependency between some executions of the
+two phases is "tight" within the gcd-window the theorem describes; the
+oracle instead checks the generated constraint set is *sound and
+sufficient* by verifying schedules (see test_schedule/test_solver for the
+schedule-level ground truth). Here we test the published formulas'
+arithmetic identities and hand-computed cases.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.precedence import (
+    PrecedenceConstraint,
+    buffer_constraints,
+    constraint_window,
+    graph_constraints,
+    q_value,
+    token_balance,
+    useful_pairs,
+)
+from repro.model import Buffer, csdf
+from repro.utils.rational import ceil_to_multiple, floor_to_multiple
+
+
+@pytest.fixture
+def figure1() -> Buffer:
+    return Buffer("b", "t", "u", (2, 3, 1), (2, 5), 0)
+
+
+class TestRounding:
+    def test_floor_to_multiple(self):
+        assert floor_to_multiple(7, 3) == 6
+        assert floor_to_multiple(-1, 3) == -3
+        assert floor_to_multiple(6, 3) == 6
+
+    def test_ceil_to_multiple(self):
+        assert ceil_to_multiple(7, 3) == 9
+        assert ceil_to_multiple(-1, 3) == 0
+        assert ceil_to_multiple(6, 3) == 6
+
+    def test_bad_gamma(self):
+        with pytest.raises(ValueError):
+            floor_to_multiple(1, 0)
+        with pytest.raises(ValueError):
+            ceil_to_multiple(1, -2)
+
+
+class TestTokenBalance:
+    def test_paper_example(self, figure1):
+        # §3.1: ⟨t'_2,1⟩ executable at completion of ⟨t_1,2⟩ (margin ≥ 0)
+        assert token_balance(figure1, 1, 2, 2, 1) == 1
+
+    def test_insufficient(self, figure1):
+        # ⟨t'_2,1⟩ after only ⟨t_1,1⟩: 0 + 2 − 7 < 0
+        assert token_balance(figure1, 1, 1, 2, 1) == -5
+
+
+class TestQValue:
+    def test_definition_expanded(self, figure1):
+        # Q(p,p') = Oa⟨u_{p'},1⟩ − Ia⟨t_p,1⟩ − M0 + in(p)
+        assert q_value(figure1, 1, 1) == 2 - 2 - 0 + 2
+        assert q_value(figure1, 2, 2) == 7 - 5 - 0 + 3
+        assert q_value(figure1, 3, 1) == 2 - 6 - 0 + 1
+
+
+class TestSelfLoopWindows:
+    """The hand-verified anchors from the module docstring."""
+
+    def test_single_phase_self_loop(self):
+        b = Buffer("loop", "t", "t", (1,), (1,), 1)
+        alpha, beta = constraint_window(b, 1, 1)
+        assert (alpha, beta) == (-1, -1)
+
+    def test_two_phase_self_loop_windows(self):
+        b = Buffer("loop", "t", "t", (1, 1), (1, 1), 1)
+        # (1,2): chaining constraint, β = 0
+        assert constraint_window(b, 1, 2) == (0, 0)
+        # (2,1): wrap-around, β = −2 = −i_b
+        assert constraint_window(b, 2, 1) == (-2, -2)
+        # (1,1), (2,2): no constraint (α > β)
+        a11, b11 = constraint_window(b, 1, 1)
+        assert a11 > b11
+        a22, b22 = constraint_window(b, 2, 2)
+        assert a22 > b22
+
+    def test_useful_pairs_of_self_loop(self):
+        b = Buffer("loop", "t", "t", (1, 1), (1, 1), 1)
+        pairs = {(p, pp): beta for p, pp, beta in useful_pairs(b)}
+        assert pairs == {(1, 2): 0, (2, 1): -2}
+
+
+class TestBufferConstraints:
+    def test_duration_and_coefficient(self):
+        g = csdf(
+            {"t": [4, 7], "u": [1]},
+            [("t", "u", [1, 1], [2], 0)],
+        )
+        q = {"t": 1, "u": 1}
+        constraints = buffer_constraints(g, g.buffer("t_u_0"), q)
+        assert constraints, "at least one useful pair expected"
+        for c in constraints:
+            assert c.duration == g.task("t").duration(c.source_phase)
+            assert c.omega_coeff == Fraction(c.beta, q["t"] * 2)
+            assert c.height == -c.omega_coeff
+
+    def test_tokens_weaken_constraints(self):
+        def betas(m0: int):
+            b = Buffer("b", "t", "u", (1,), (1,), m0)
+            return [beta for _, _, beta in useful_pairs(b)]
+
+        # more initial tokens → smaller (more negative) β → looser arcs
+        assert max(betas(0)) > max(betas(3))
+
+    def test_graph_constraints_covers_all_buffers(self):
+        g = csdf(
+            {"t": [1, 1], "u": [1]},
+            [("t", "u", [1, 1], [2], 0), ("u", "t", [2], [1, 1], 2)],
+        )
+        q = {"t": 1, "u": 1}
+        names = {c.buffer_name for c in graph_constraints(g, q)}
+        assert names == {"t_u_0", "u_t_0"}
+
+
+class TestUsefulPairArrays:
+    """The vectorized sweep must match the streaming reference exactly."""
+
+    def test_figure1_equivalence(self):
+        from repro.analysis.precedence import useful_pair_arrays
+
+        b = Buffer("b", "t", "u", (2, 3, 1), (2, 5), 4)
+        p0, pp0, betas = useful_pair_arrays(b)
+        vectorized = {
+            (int(p) + 1, int(pp) + 1, int(beta))
+            for p, pp, beta in zip(p0, pp0, betas)
+        }
+        streamed = set(useful_pairs(b))
+        assert vectorized == streamed
+
+    def test_random_buffers_equivalence(self):
+        import random
+
+        from repro.analysis.precedence import useful_pair_arrays
+
+        rng = random.Random(17)
+        for _ in range(50):
+            phi_p = rng.randint(1, 6)
+            phi_c = rng.randint(1, 6)
+            prod = [rng.randint(0, 5) for _ in range(phi_p)]
+            cons = [rng.randint(0, 5) for _ in range(phi_c)]
+            if sum(prod) == 0 or sum(cons) == 0:
+                continue
+            b = Buffer("b", "t", "u", tuple(prod), tuple(cons),
+                       rng.randint(0, 12))
+            p0, pp0, betas = useful_pair_arrays(b)
+            vectorized = {
+                (int(p) + 1, int(pp) + 1, int(beta))
+                for p, pp, beta in zip(p0, pp0, betas)
+            }
+            assert vectorized == set(useful_pairs(b))
+
+    def test_zero_rate_phases(self):
+        from repro.analysis.precedence import useful_pair_arrays
+
+        b = Buffer("b", "t", "u", (0, 3), (1, 0, 2), 1)
+        p0, pp0, betas = useful_pair_arrays(b)
+        vectorized = {
+            (int(p) + 1, int(pp) + 1, int(beta))
+            for p, pp, beta in zip(p0, pp0, betas)
+        }
+        assert vectorized == set(useful_pairs(b))
+
+
+class TestUsefulPairsStreaming:
+    def test_matches_window_filter(self):
+        b = Buffer("b", "t", "u", (2, 3, 1), (2, 5), 4)
+        streamed = {(p, pp, beta) for p, pp, beta in useful_pairs(b)}
+        direct = set()
+        for p in (1, 2, 3):
+            for pp in (1, 2):
+                alpha, beta = constraint_window(b, p, pp)
+                if alpha <= beta:
+                    direct.add((p, pp, beta))
+        assert streamed == direct

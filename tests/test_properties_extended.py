@@ -1,0 +1,149 @@
+"""Second property suite: cross-subsystem invariants.
+
+Complements ``test_properties.py`` with the invariants of the modules
+added after the core build: unfolding/max-plus agreement, transform
+homogeneity, mapping anchors, and serialization exactness.
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import period_bounds
+from repro.baselines.unfolding import throughput_unfolding
+from repro.io import (
+    graph_from_json,
+    graph_to_json,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.kperiodic import min_period_for_k, throughput_kiter
+from repro.maxplus import MaxPlusMatrix, throughput_maxplus
+from repro.transforms import merge_graphs, scale_durations, scale_rates
+from tests.conftest import make_random_live_graph
+
+LIMITED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@LIMITED
+@given(st.integers(0, 10**6))
+def test_unfolding_agrees_with_kiter(seed):
+    g = make_random_live_graph(seed % 400, tasks=4)
+    assert throughput_unfolding(g).period == throughput_kiter(g).period
+
+
+@LIMITED
+@given(st.integers(0, 10**6))
+def test_maxplus_agrees_with_kiter(seed):
+    g = make_random_live_graph(seed % 150, tasks=3)
+    assert throughput_maxplus(g).period == throughput_kiter(g).period
+
+
+@LIMITED
+@given(st.integers(0, 10**6), st.integers(2, 9))
+def test_duration_scaling_homogeneity(seed, factor):
+    g = make_random_live_graph(seed % 200, tasks=4)
+    base = throughput_kiter(g).period
+    assert throughput_kiter(scale_durations(g, factor)).period \
+        == factor * base
+
+
+@LIMITED
+@given(st.integers(0, 10**6), st.integers(2, 6))
+def test_rate_scaling_invariance(seed, factor):
+    g = make_random_live_graph(seed % 200, tasks=4)
+    assert throughput_kiter(scale_rates(g, factor)).period \
+        == throughput_kiter(g).period
+
+
+@LIMITED
+@given(st.integers(0, 10**6), st.integers(0, 10**6))
+def test_merge_preserves_per_task_throughput(seed_a, seed_b):
+    """Merging rescales what one "graph iteration" means (the merged
+    repetition vector is a common integer refinement of the parts'), so
+    the invariant is per-*task* throughput ``q_t/Ω``, not the period."""
+    from repro.analysis import repetition_vector
+
+    a = make_random_live_graph(seed_a % 100, tasks=3)
+    b = make_random_live_graph(seed_b % 100 + 100, tasks=3)
+    b = b.copy("other")
+    merged = merge_graphs([a, b])
+    merged_period = throughput_kiter(merged).period
+    q_merged = repetition_vector(merged)
+    for part in (a, b):
+        part_period = throughput_kiter(part).period
+        q_part = repetition_vector(part)
+        task = part.task_names()[0]
+        merged_name = f"{part.name}.{task}"
+        if part_period == 0:
+            continue
+        assert Fraction(q_merged[merged_name], merged_period) <= \
+            Fraction(q_part[task], part_period)
+    # and the slowest part's per-task rate is exactly attained somewhere
+    rates_equal = []
+    for part in (a, b):
+        part_period = throughput_kiter(part).period
+        if part_period == 0:
+            continue
+        q_part = repetition_vector(part)
+        task = part.task_names()[0]
+        merged_name = f"{part.name}.{task}"
+        rates_equal.append(
+            Fraction(q_merged[merged_name], merged_period)
+            == Fraction(q_part[task], part_period)
+        )
+    assert any(rates_equal)
+
+
+@LIMITED
+@given(st.integers(0, 10**6))
+def test_period_within_analytic_bounds(seed):
+    g = make_random_live_graph(seed % 300, tasks=5)
+    period = throughput_kiter(g).period
+    assert period_bounds(g).contains(period)
+
+
+@LIMITED
+@given(st.integers(0, 10**6))
+def test_graph_json_roundtrip_preserves_throughput(seed):
+    g = make_random_live_graph(seed % 300, tasks=4)
+    back = graph_from_json(graph_to_json(g))
+    assert throughput_kiter(back).period == throughput_kiter(g).period
+
+
+@LIMITED
+@given(st.integers(0, 10**6))
+def test_schedule_json_roundtrip_exact(seed):
+    from repro.analysis import repetition_vector
+
+    g = make_random_live_graph(seed % 100, tasks=3)
+    result = throughput_kiter(g)
+    if result.period == 0:
+        return
+    schedule = min_period_for_k(g, result.K).schedule
+    back = schedule_from_json(schedule_to_json(schedule))
+    assert back.starts == schedule.starts
+    back.verify(g, iterations=2)
+
+
+@LIMITED
+@given(st.integers(0, 10**6), st.integers(2, 5))
+def test_maxplus_power_associativity(seed, k):
+    rng = random.Random(seed)
+    n = rng.randint(1, 6)
+    rows = [
+        [
+            None if rng.random() < 0.4
+            else Fraction(rng.randint(-5, 9))
+            for _ in range(n)
+        ]
+        for _ in range(n)
+    ]
+    a = MaxPlusMatrix(rows)
+    assert a.power(k) == a.power(k - 1) @ a

@@ -1,0 +1,70 @@
+"""Unit tests for throughput sensitivity analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    critical_tasks,
+    duration_sensitivity,
+)
+from repro.exceptions import ModelError
+from repro.generators.paper import figure2_graph
+from repro.kperiodic import throughput_kiter
+from repro.model import sdf
+
+
+class TestCriticalTasks:
+    def test_bottleneck_identified(self):
+        g = sdf({"A": 8, "B": 2},
+                [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 2)])
+        # with 2 tokens the cycle is slack; A's utilization binds
+        assert critical_tasks(g) == {"A"}
+
+    def test_cycle_critical(self, two_task_cycle):
+        assert critical_tasks(two_task_cycle) == {"A", "B"}
+
+
+class TestDurationSensitivity:
+    def test_bottleneck_has_largest_gain(self):
+        g = sdf({"A": 8, "B": 2},
+                [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 1)])
+        s = duration_sensitivity(g)
+        assert s["A"].speedup_gain > s["B"].speedup_gain
+        assert s["A"].is_critical
+
+    def test_off_circuit_task_is_insensitive(self):
+        # C hangs off the side with a tiny duration: never critical
+        g = sdf(
+            {"A": 9, "B": 9, "C": 1},
+            [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 1),
+             ("B", "C", 1, 1, 0)],
+        )
+        s = duration_sensitivity(g, tasks=["C"])
+        assert s["C"].speedup_gain == 0
+        # doubling C (1 → 2) still stays below the cycle bound of 18
+        assert not s["C"].is_critical
+
+    def test_slowdown_monotonicity(self):
+        g = figure2_graph()
+        s = duration_sensitivity(g)
+        for sensitivity in s.values():
+            assert sensitivity.period_when_faster <= \
+                sensitivity.base_period <= sensitivity.period_when_slower
+
+    def test_some_figure2_task_is_critical(self):
+        s = duration_sensitivity(figure2_graph())
+        assert any(v.is_critical for v in s.values())
+
+    def test_task_selection(self, two_task_cycle):
+        s = duration_sensitivity(two_task_cycle, tasks=["A"])
+        assert set(s) == {"A"}
+
+    def test_unknown_task_rejected(self, two_task_cycle):
+        with pytest.raises(ModelError):
+            duration_sensitivity(two_task_cycle, tasks=["nope"])
+
+    def test_base_period_consistent(self, multirate_cycle):
+        s = duration_sensitivity(multirate_cycle)
+        base = throughput_kiter(multirate_cycle).period
+        assert all(v.base_period == base for v in s.values())

@@ -1,0 +1,65 @@
+"""Unit tests for SCC / connectivity analysis."""
+
+from repro.analysis import (
+    is_strongly_connected,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.model import CsdfGraph, hsdf, sdf
+
+
+class TestScc:
+    def test_single_cycle(self):
+        g = hsdf({"A": 1, "B": 1}, [("A", "B", 0), ("B", "A", 1)])
+        assert strongly_connected_components(g) == [["A", "B"]]
+        assert is_strongly_connected(g)
+
+    def test_chain_is_singletons(self):
+        g = hsdf({"A": 1, "B": 1, "C": 1}, [("A", "B", 0), ("B", "C", 0)])
+        sccs = strongly_connected_components(g)
+        assert sorted(map(tuple, sccs)) == [("A",), ("B",), ("C",)]
+        assert not is_strongly_connected(g)
+
+    def test_two_cycles_bridged(self):
+        g = hsdf(
+            {"A": 1, "B": 1, "C": 1, "D": 1},
+            [
+                ("A", "B", 0), ("B", "A", 1),
+                ("B", "C", 0),
+                ("C", "D", 0), ("D", "C", 1),
+            ],
+        )
+        sccs = {tuple(c) for c in strongly_connected_components(g)}
+        assert sccs == {("A", "B"), ("C", "D")}
+
+    def test_reverse_topological_order(self):
+        g = hsdf({"A": 1, "B": 1}, [("A", "B", 0)])
+        sccs = strongly_connected_components(g)
+        # Tarjan emits sinks first
+        assert sccs[0] == ["B"]
+
+    def test_self_loop_ignored(self):
+        g = hsdf({"A": 1}, [("A", "A", 1)])
+        assert strongly_connected_components(g) == [["A"]]
+
+    def test_empty_graph(self):
+        assert strongly_connected_components(CsdfGraph("e")) == []
+        assert not is_strongly_connected(CsdfGraph("e"))
+
+    def test_deep_chain_no_recursion_limit(self):
+        n = 5000
+        tasks = {f"t{i}": 1 for i in range(n)}
+        edges = [(f"t{i}", f"t{i+1}", 0) for i in range(n - 1)]
+        g = hsdf(tasks, edges)
+        assert len(strongly_connected_components(g)) == n
+
+
+class TestWeakComponents:
+    def test_direction_ignored(self):
+        g = hsdf({"A": 1, "B": 1, "C": 1}, [("A", "B", 0), ("C", "B", 0)])
+        assert weakly_connected_components(g) == [["A", "B", "C"]]
+
+    def test_disconnected(self):
+        g = sdf({"A": 1, "B": 1}, [])
+        comps = weakly_connected_components(g)
+        assert sorted(map(tuple, comps)) == [("A",), ("B",)]

@@ -1,0 +1,77 @@
+"""Unit tests for graph surgery transforms (semantic contracts)."""
+
+import pytest
+
+from repro.analysis import is_live, repetition_vector
+from repro.exceptions import ModelError
+from repro.generators.paper import figure2_graph
+from repro.kperiodic import throughput_kiter
+from repro.model import sdf
+from repro.transforms import (
+    merge_graphs,
+    relabel_graph,
+    scale_durations,
+    scale_rates,
+)
+
+
+class TestRelabel:
+    def test_rename_endpoint_consistency(self, multirate_cycle):
+        out = relabel_graph(multirate_cycle, {"A": "alpha"})
+        assert out.has_task("alpha")
+        assert out.buffer("A_B_0").source == "alpha"
+
+    def test_collision_rejected(self, multirate_cycle):
+        with pytest.raises(ModelError):
+            relabel_graph(multirate_cycle, {"A": "B"})
+
+    def test_semantics_preserved(self):
+        g = figure2_graph()
+        out = relabel_graph(g, {"A": "alpha", "D": "delta"})
+        assert throughput_kiter(out).period == throughput_kiter(g).period
+
+
+class TestMerge:
+    def test_disjoint_union_counts(self, two_task_cycle, multirate_cycle):
+        merged = merge_graphs([two_task_cycle, multirate_cycle])
+        assert merged.task_count == 4
+        assert merged.has_task("two_task_cycle.A")
+        assert merged.has_task("multirate_cycle.A")
+
+    def test_slowest_component_binds(self, two_task_cycle):
+        slow = sdf({"X": 9, "Y": 9},
+                   [("X", "Y", 1, 1, 0), ("Y", "X", 1, 1, 1)],
+                   name="slow")
+        merged = merge_graphs([two_task_cycle, slow])
+        assert throughput_kiter(merged).period == 18
+
+    def test_merged_liveness(self, two_task_cycle, deadlocked_cycle):
+        merged = merge_graphs([two_task_cycle, deadlocked_cycle])
+        assert not is_live(merged)
+
+
+class TestScaleDurations:
+    def test_period_scales_linearly(self):
+        g = figure2_graph()
+        base = throughput_kiter(g).period
+        scaled = scale_durations(g, 7)
+        assert throughput_kiter(scaled).period == 7 * base
+
+    def test_zero_factor_rejected(self, two_task_cycle):
+        with pytest.raises(ModelError):
+            scale_durations(two_task_cycle, 0)
+
+
+class TestScaleRates:
+    def test_period_invariant(self):
+        g = figure2_graph()
+        base = throughput_kiter(g).period
+        assert throughput_kiter(scale_rates(g, 5)).period == base
+
+    def test_repetition_invariant(self):
+        g = figure2_graph()
+        assert repetition_vector(scale_rates(g, 3)) == repetition_vector(g)
+
+    def test_liveness_invariant(self, two_task_cycle, deadlocked_cycle):
+        assert is_live(scale_rates(two_task_cycle, 4))
+        assert not is_live(scale_rates(deadlocked_cycle, 4))
