@@ -106,4 +106,10 @@ def build_constraint_graph(
             elif height < bi_graph.arc_transit[existing]:
                 # Same L (= d(t_p)); smaller H is the tighter constraint.
                 bi_graph.arc_transit[existing] = height
+    # The merge loop above edits arc_transit in place, so drop any stale
+    # compilation before emitting the frozen arc-array form. Every
+    # downstream consumer (oracle probes, SCC sweep, engines, potentials)
+    # shares this single compilation via the graph's cache.
+    bi_graph.invalidate()
+    bi_graph.compile()
     return bi_graph, node_index

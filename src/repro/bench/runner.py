@@ -62,21 +62,59 @@ class MethodOutcome:
         return f"{ratio:.4g}%"
 
 
-def run_method(method: str, graph, budget: float) -> MethodOutcome:
+def method_names() -> list:
+    """Every method name ``run_method`` accepts.
+
+    K-Iter variants are enumerated per registered MCRP engine
+    (``kiter@<engine>``), so a new registry engine is immediately
+    benchable without touching this module.
+    """
+    from repro.mcrp.registry import engine_names
+
+    base = ["kiter", "kiter-fullq", "periodic", "symbolic",
+            "expansion", "expansion-full", "unfolding", "maxplus"]
+    return base + [f"kiter@{name}" for name in engine_names()]
+
+
+def run_method(
+    method: str, graph, budget: float, *, engine: Optional[str] = None
+) -> MethodOutcome:
     """Run one named method with a wall-clock budget.
 
     Methods: ``kiter``, ``kiter-fullq``, ``periodic``, ``symbolic``,
     ``expansion`` (SDF only), ``expansion-full``, ``unfolding``,
-    ``maxplus``.
+    ``maxplus``; plus one ``kiter@<engine>`` variant per registered
+    MCRP engine. ``engine`` selects the MCRP engine for the K-Iter
+    variants (the ``kiter@<engine>`` spelling is shorthand for it);
+    the other methods do not take one.
     """
     from repro.baselines.unfolding import throughput_unfolding
+    from repro.exceptions import SolverError
+    from repro.mcrp.registry import get_engine
+
+    if method.startswith("kiter@"):
+        spelled = method.split("@", 1)[1]
+        if engine is not None and engine != spelled:
+            raise SolverError(
+                f"conflicting engines: method {method!r} vs "
+                f"engine={engine!r}"
+            )
+        method, engine = "kiter", spelled
+    mcrp_engine = engine if engine is not None else "ratio-iteration"
+    get_engine(mcrp_engine)  # fail fast on unknown engine names
+    if engine is not None and method not in ("kiter", "kiter-fullq"):
+        raise SolverError(
+            f"method {method!r} does not take an MCRP engine "
+            "(only the kiter methods do)"
+        )
 
     runners: dict[str, Callable[[], Optional[Fraction]]] = {
         "kiter": lambda: throughput_kiter(
-            graph, time_budget=budget
+            graph, time_budget=budget, engine=mcrp_engine
         ).period,
         "kiter-fullq": lambda: throughput_kiter(
-            graph, time_budget=budget, update_policy="full-q"
+            graph, time_budget=budget, update_policy="full-q",
+            engine=mcrp_engine,
         ).period,
         "periodic": lambda: _periodic(graph),
         "symbolic": lambda: throughput_symbolic(
@@ -93,7 +131,9 @@ def run_method(method: str, graph, budget: float) -> MethodOutcome:
     }
     runner = runners.get(method)
     if runner is None:
-        raise ValueError(f"unknown method {method!r}")
+        raise SolverError(
+            f"unknown method {method!r}; choose from {method_names()}"
+        )
     start = time.perf_counter()
     try:
         period = runner()

@@ -91,7 +91,10 @@ def throughput_kiter(
         deadlocked graph raises :class:`~repro.exceptions.DeadlockError`
         at the first round).
     engine:
-        MCRP engine passed through to the fixed-K solver.
+        Registered MCRP engine name passed through to the fixed-K
+        solver (see :func:`repro.mcrp.registry.engine_names`; any of
+        ``ratio-iteration``, ``hybrid``, ``howard``, ``lawler``,
+        ``karp``, ``bellman`` out of the box).
     build_schedule:
         Extract the certified K-periodic schedule of the final round
         (costs one extra longest-path pass).

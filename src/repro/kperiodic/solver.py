@@ -23,18 +23,9 @@ from repro.kperiodic.expansion import (
     validate_periodicity,
 )
 from repro.kperiodic.schedule import KPeriodicSchedule
-from repro.mcrp.decompose import max_cycle_ratio_sccs
 from repro.mcrp.graph import BiValuedGraph, CycleResult
-from repro.mcrp.howard import max_cycle_ratio_howard
-from repro.mcrp.lawler import max_cycle_ratio_lawler
-from repro.mcrp.ratio_iteration import max_cycle_ratio
+from repro.mcrp.registry import get_engine, solve_mcrp
 from repro.utils.rational import lcm_list
-
-_ENGINES = {
-    "ratio-iteration": max_cycle_ratio,
-    "howard": max_cycle_ratio_howard,
-    "lawler": max_cycle_ratio_lawler,
-}
 
 
 @dataclass
@@ -96,23 +87,25 @@ def min_period_for_k(
         the 1-periodic method of [Bodin et al. 2013]; ``K = q`` gives the
         exact throughput directly (at exponential-size cost).
     engine:
-        MCRP engine: ``"ratio-iteration"`` (exact, default), ``"howard"``
-        (float-accelerated, exactly certified) or ``"lawler"``.
+        Registered MCRP engine name (see
+        :func:`repro.mcrp.registry.engine_names`): ``"ratio-iteration"``
+        (exact, default), ``"hybrid"`` (float prefilter + exact
+        certification — the fast path on large graphs), ``"howard"``,
+        ``"lawler"``, ``"karp"``, ``"bellman"``, or any engine
+        registered by the embedding application.
     build_schedule:
         Also extract start times (longest-path potentials at λ*).
 
     Raises
     ------
+    SolverError
+        If ``engine`` names no registered engine.
     DeadlockError
         If no feasible period exists (the graph deadlocks).
     InconsistentGraphError
         If the graph has no repetition vector.
     """
-    solve = _ENGINES.get(engine)
-    if solve is None:
-        raise SolverError(
-            f"unknown MCRP engine {engine!r}; choose from {sorted(_ENGINES)}"
-        )
+    info = get_engine(engine)
     K = validate_periodicity(graph, K)
     if repetition is None:
         repetition = repetition_vector(graph)
@@ -136,16 +129,14 @@ def min_period_for_k(
     # onto it immediately instead of converging without a certificate.
     lower = Fraction(utilization * lcm_k) - Fraction(1, 2)
     try:
-        if engine == "lawler":
-            result: CycleResult = solve(bi_graph)
-        else:
-            # solve per strongly connected component with champion
-            # pruning (acyclic regions cost nothing, components that
-            # cannot beat the best ratio are rejected by one oracle
-            # probe); the utilization bound seeds the champion.
-            result = max_cycle_ratio_sccs(
-                bi_graph, engine=solve, lower_bound=lower
-            )
+        # The registry pipeline solves per strongly connected component
+        # with champion pruning when the engine supports it (acyclic
+        # regions cost nothing, components that cannot beat the best
+        # ratio are rejected by one oracle probe); the utilization bound
+        # seeds the champion, and warm-starts engines that take bounds.
+        result: CycleResult = solve_mcrp(
+            bi_graph, info, lower_bound=lower
+        )
     except DeadlockError as exc:
         # Annotate the infeasible circuit with task names so K-Iter can
         # escalate K along it (a small-K infeasibility is not necessarily
@@ -196,11 +187,7 @@ def _extract_schedule(
     so the longest-path fixpoint from an all-zero source exists; it is the
     earliest K-periodic schedule for that period.
     """
-    weights = [
-        bi_graph.arc_cost[i] - omega_expanded * bi_graph.arc_transit[i]
-        for i in range(bi_graph.arc_count)
-    ]
-    dist = _longest_path_potentials(bi_graph, weights)
+    dist = _longest_path_potentials(bi_graph, omega_expanded)
 
     omega = omega_expanded / lcm_k
     task_periods: Dict[str, Fraction] = {}
@@ -221,13 +208,25 @@ def _extract_schedule(
 
 def _longest_path_potentials(
     bi_graph: BiValuedGraph,
-    weights: List[Fraction],
+    omega_expanded: Fraction,
 ) -> List[Fraction]:
-    """Bellman–Ford longest paths from an implicit zero source (exact)."""
+    """Bellman–Ford longest paths from an implicit zero source (exact).
+
+    Runs over the compiled arc arrays in pure integers: with
+    ``λ* = a/b`` and the compiled scale ``D``, the weight of arc ``i``
+    is ``(b·L'_i − a·H'_i) / (b·D)`` — the common positive denominator
+    is factored out of the relaxation and restored once at the end, so
+    the hot loop never constructs a ``Fraction``.
+    """
     from collections import deque
 
-    n = bi_graph.node_count
-    dist: List[Fraction] = [Fraction(0)] * n
+    compiled = bi_graph.compile()
+    n = compiled.node_count
+    a, b = omega_expanded.numerator, omega_expanded.denominator
+    weights = compiled.parametric_weights(a, b)
+    out_arcs = compiled.out_arcs
+    arc_dst = compiled.dst
+    dist: List[int] = [0] * n
     in_queue = [True] * n
     relaxations = [0] * n
     queue = deque(range(n))
@@ -235,8 +234,8 @@ def _longest_path_potentials(
         u = queue.popleft()
         in_queue[u] = False
         du = dist[u]
-        for arc in bi_graph.out_arcs(u):
-            v = bi_graph.arc_dst[arc]
+        for arc in out_arcs[u]:
+            v = arc_dst[arc]
             candidate = du + weights[arc]
             if candidate > dist[v]:
                 dist[v] = candidate
@@ -248,4 +247,5 @@ def _longest_path_potentials(
                 if not in_queue[v]:
                     in_queue[v] = True
                     queue.append(v)
-    return dist
+    denom = b * compiled.scale
+    return [Fraction(d, denom) for d in dist]

@@ -8,31 +8,67 @@ time* ``H(e)``, the maximum cycle ratio is
 The paper (§3.3) reduces the minimum-period linear program of Theorem 2 to
 an MCRP: ``Ω* = λ*`` and a critical circuit certifies the value.
 
-Engines
--------
-* :mod:`repro.mcrp.ratio_iteration` — the default *exact* engine: ascending
-  cycle-ratio iteration with arbitrary-precision rationals; always returns
-  a critical circuit and detects infeasibility (deadlock).
-* :mod:`repro.mcrp.howard` — Howard policy iteration in floats with an
-  exact certification pass (fast path for large graphs).
-* :mod:`repro.mcrp.lawler` — Lawler binary search (reference/cross-check).
-* :mod:`repro.mcrp.karp` — Karp's algorithm for the unit-transit special
-  case (maximum cycle mean, used by the HSDF expansion baseline).
+Architecture
+------------
+All engines run on the **compiled core**: :meth:`BiValuedGraph.compile`
+freezes the graph into CSR arc arrays with integer-scaled exact weights,
+float shadow weights and numpy mirrors (:mod:`repro.mcrp.compiled`),
+cached so the whole solve pipeline compiles once per graph. Engines
+self-register in :mod:`repro.mcrp.registry`, which is the single engine
+surface for the k-periodic solver, the CLI and the bench harness.
+
+Engines (registry names)
+------------------------
+* ``ratio-iteration`` — the default *exact* engine: ascending
+  cycle-ratio iteration with arbitrary-precision rationals; always
+  returns a critical circuit and detects infeasibility (deadlock).
+* ``hybrid`` — float Howard prefilter + single-probe exact
+  certification; the compiled-core fast path for large graphs.
+* ``howard`` — Howard policy iteration in floats with a full exact
+  certification phase.
+* ``lawler`` — Lawler binary search (independent cross-check).
+* ``karp`` — ascending iteration on a Karp-table oracle; the cycle-mean
+  core also serves the HSDF expansion baseline
+  (:func:`max_cycle_mean`).
+* ``bellman`` — ascending iteration pinned to the pure-Python
+  Bellman-Ford oracle (reference baseline).
 """
 
 from repro.mcrp.graph import BiValuedGraph, CycleResult
+from repro.mcrp.compiled import CompiledGraph, compile_graph
+from repro.mcrp.registry import (
+    EngineInfo,
+    all_engines,
+    engine_names,
+    get_engine,
+    register_engine,
+    solve_mcrp,
+)
 from repro.mcrp.ratio_iteration import max_cycle_ratio
-from repro.mcrp.karp import max_cycle_mean
+from repro.mcrp.bellman import max_cycle_ratio_bellman
+from repro.mcrp.karp import max_cycle_mean, max_cycle_ratio_karp
 from repro.mcrp.howard import max_cycle_ratio_howard
+from repro.mcrp.hybrid import max_cycle_ratio_hybrid
 from repro.mcrp.lawler import max_cycle_ratio_lawler
 from repro.mcrp.decompose import max_cycle_ratio_sccs
 
 __all__ = [
     "BiValuedGraph",
+    "CompiledGraph",
     "CycleResult",
-    "max_cycle_ratio",
+    "EngineInfo",
+    "all_engines",
+    "compile_graph",
+    "engine_names",
+    "get_engine",
     "max_cycle_mean",
+    "max_cycle_ratio",
+    "max_cycle_ratio_bellman",
     "max_cycle_ratio_howard",
+    "max_cycle_ratio_hybrid",
+    "max_cycle_ratio_karp",
     "max_cycle_ratio_lawler",
     "max_cycle_ratio_sccs",
+    "register_engine",
+    "solve_mcrp",
 ]

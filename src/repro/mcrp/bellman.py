@@ -4,16 +4,23 @@ This is the inner oracle of every ratio engine: for a candidate ratio λ,
 the maximum cycle ratio exceeds λ iff the graph has a cycle of positive
 weight under ``w(e) = L(e) − λ·H(e)``.
 
-All arithmetic is **exact**: the graph's Fraction-valued ``(L, H)`` pairs
-are scaled once to integers by the lcm ``D`` of their denominators, and a
-rational candidate ``λ = a/b`` turns the weight test into the integer test
-``b·L' − a·H' > 0``. Python's arbitrary-precision ints make overflow
-impossible.
+All arithmetic is **exact**: the compiled graph scales the
+Fraction-valued ``(L, H)`` pairs to integers once by the lcm ``D`` of
+their denominators, and a rational candidate ``λ = a/b`` turns the
+weight test into the integer test ``b·L' − a·H' > 0``. Python's
+arbitrary-precision ints make overflow impossible; when the compiled
+core's integer fast path applies (scaled values fit ``int64``), the
+parametric weights are formed vectorized in numpy instead of a Python
+list comprehension.
 
 The finder is a queue-based Bellman-Ford (SPFA) computing longest paths
 from an implicit super-source (all distances start at 0): a node relaxed
 more than ``n`` times certifies a positive cycle, which is extracted from
 the predecessor chain.
+
+The module also hosts the ``bellman`` registry engine: ascending ratio
+iteration driven purely by the reference Python relaxation — the
+slow-but-transparent baseline every fast path is validated against.
 """
 
 from __future__ import annotations
@@ -27,8 +34,8 @@ try:  # optional numpy fast path for the Jacobi relaxation sweeps
 except ImportError:  # pragma: no cover - numpy present in CI
     _np = None
 
-from repro.mcrp.graph import BiValuedGraph
-from repro.utils.rational import lcm_list
+from repro.mcrp.graph import BiValuedGraph, CycleResult
+from repro.mcrp.registry import register_engine
 
 
 class ScaledGraph:
@@ -36,23 +43,22 @@ class ScaledGraph:
 
     ``cost[i] = L_i·D`` and ``transit[i] = H_i·D`` where ``D`` is the lcm of
     all L/H denominators; cycle ratios are unchanged by the common scaling.
+    Since the compiled-core refactor this is a thin adapter over
+    ``graph.compile()`` — construction is O(1) after the first compile of
+    the same graph.
     """
 
     def __init__(self, graph: BiValuedGraph):
+        compiled = graph.compile()
         self.graph = graph
-        self.node_count = graph.node_count
-        denominators = [c.denominator for c in graph.arc_cost]
-        denominators += [h.denominator for h in graph.arc_transit]
-        self.scale = lcm_list(denominators) if denominators else 1
-        self.cost: List[int] = [
-            int(c * self.scale) for c in graph.arc_cost
-        ]
-        self.transit: List[int] = [
-            int(h * self.scale) for h in graph.arc_transit
-        ]
-        self.arc_src = graph.arc_src
-        self.arc_dst = graph.arc_dst
-        self.out_arcs = [graph.out_arcs(v) for v in range(graph.node_count)]
+        self.compiled = compiled
+        self.node_count = compiled.node_count
+        self.scale = compiled.scale
+        self.cost: List[int] = compiled.cost
+        self.transit: List[int] = compiled.transit
+        self.arc_src = compiled.src
+        self.arc_dst = compiled.dst
+        self.out_arcs = compiled.out_arcs
 
     def cycle_ratio(self, arc_indices: List[int]) -> Tuple[int, int]:
         """``(Σ cost, Σ transit)`` of a cycle, in scaled integers.
@@ -77,10 +83,38 @@ def find_positive_cycle(
     """
     if lam_den <= 0:
         raise ValueError("lam_den must be positive")
-    weights = [
-        lam_den * scaled.cost[i] - lam_num * scaled.transit[i]
-        for i in range(len(scaled.cost))
-    ]
+    compiled = scaled.compiled
+    # Integer fast path: form the parametric weights vectorized and go
+    # straight to the Jacobi sweep when the weight magnitudes provably
+    # keep every ≤(3n+2)-arc walk sum inside int64. λ's own numerator
+    # and denominator must fit int64 *independently* of the weight
+    # bound: an all-zero cost (or transit) column zeroes its term of
+    # the bound while the numpy scalar conversion still sees the raw
+    # huge integer.
+    jacobi_declined = False
+    if (
+        compiled.node_count >= 64
+        and -(1 << 62) < lam_num < (1 << 62)
+        and lam_den < (1 << 62)
+        and compiled.ensure_numpy()
+        and compiled.np_cost is not None
+    ):
+        bound = compiled.parametric_weight_bound(lam_num, lam_den)
+        if bound < (1 << 62) // (3 * compiled.node_count + 4):
+            w_np = lam_den * compiled.np_cost - lam_num * compiled.np_transit
+            outcome = _find_cycle_numpy(scaled, w_np)
+            if outcome is not _FALLBACK:
+                return outcome
+            jacobi_declined = True
+    weights = compiled.parametric_weights(lam_num, lam_den)
+    if jacobi_declined:
+        # the Jacobi sweep already ran on these exact weights and could
+        # not settle; go straight to the queue-based engine
+        return _find_positive_weight_cycle_python(scaled, weights)
+    # The precomputed bound is cancellation-free (b·maxL + |a|·maxH), so
+    # near-critical weights can still be small when it overflows: let
+    # the dispatching finder re-measure the actual weights and keep its
+    # numpy shot where they fit.
     return find_positive_weight_cycle(scaled, weights)
 
 
@@ -107,7 +141,7 @@ def find_positive_weight_cycle(
 _FALLBACK = object()
 
 
-def _find_cycle_numpy(scaled: ScaledGraph, weights: List[int]):
+def _find_cycle_numpy(scaled: ScaledGraph, weights):
     """Jacobi longest-path sweeps in numpy (int64).
 
     ``dist_k`` after k sweeps equals the best ≤k-arc walk value from the
@@ -118,25 +152,33 @@ def _find_cycle_numpy(scaled: ScaledGraph, weights: List[int]):
     positivity is verified, and the positive cycle pumps itself into
     the pointers within a bounded number of extra sweeps — after the
     budget, fall back to the exact queue engine).
+
+    ``weights`` may be a Python list (bounds are then checked here) or a
+    ready int64 array whose walk sums the caller already proved safe.
+    The destination-sorted segment structure comes precomputed from the
+    compiled core.
     """
-    n = scaled.node_count
-    m = len(weights)
+    compiled = scaled.compiled
+    n = compiled.node_count
+    m = compiled.arc_count
     if m == 0:
         return None
-    max_w = max(1, max(abs(w) for w in weights))
-    # every dist value is a ≤(3n+2)-arc walk sum; keep far from 2^63
-    if max_w >= (1 << 62) // (3 * n + 4):
+    if not compiled.ensure_numpy():  # pragma: no cover - numpy gated above
         return _FALLBACK
-    src = _np.array(scaled.arc_src, dtype=_np.int64)
-    dst = _np.array(scaled.arc_dst, dtype=_np.int64)
-    w = _np.array(weights, dtype=_np.int64)
-    order = _np.argsort(dst, kind="stable")
-    src_s = src[order]
-    dst_s = dst[order]
-    w_s = w[order]
-    arc_ids = _np.arange(m, dtype=_np.int64)[order]
-    dst_unique, seg_starts = _np.unique(dst_s, return_index=True)
-    seg_sizes = _np.diff(_np.append(seg_starts, m))
+    if isinstance(weights, list):
+        max_w = max(1, max(abs(w) for w in weights))
+        # every dist value is a ≤(3n+2)-arc walk sum; keep far from 2^63
+        if max_w >= (1 << 62) // (3 * n + 4):
+            return _FALLBACK
+        w = _np.array(weights, dtype=_np.int64)
+    else:
+        w = weights
+    src_s = compiled.src_sorted
+    w_s = w[compiled.dst_order]
+    arc_ids = compiled.arc_ids_sorted
+    dst_unique = compiled.dst_unique
+    seg_starts = compiled.seg_starts
+    seg_sizes = compiled.seg_sizes
 
     dist = _np.zeros(n, dtype=_np.int64)
     pred = _np.full(n, -1, dtype=_np.int64)
@@ -164,7 +206,7 @@ def _find_cycle_numpy(scaled: ScaledGraph, weights: List[int]):
         # periodically.
         if sweep & 15 == 15 or sweep >= n:
             cycle = _extract_pred_cycle_array(
-                scaled, pred, int(last_improved[0]), weights
+                scaled, pred, int(last_improved[0]), w
             )
             if cycle is not None:
                 return cycle
@@ -175,7 +217,7 @@ def _extract_pred_cycle_array(
     scaled: ScaledGraph,
     pred,
     start: int,
-    weights: List[int],
+    weights,
 ) -> Optional[List[int]]:
     """Predecessor-chain walk over the numpy pred array (verified)."""
     seen_at = {}
@@ -388,3 +430,39 @@ def find_any_cycle(scaled: ScaledGraph) -> Optional[List[int]]:
             stack.pop()
             colour[node] = BLACK
     return None
+
+
+# ----------------------------------------------------------------------
+def _python_oracle(
+    scaled: ScaledGraph, lam_num: int, lam_den: int
+) -> Optional[List[int]]:
+    """Positive-cycle oracle pinned to the reference Python relaxation."""
+    weights = scaled.compiled.parametric_weights(lam_num, lam_den)
+    return _find_positive_weight_cycle_python(scaled, weights)
+
+
+@register_engine(
+    "bellman",
+    supports_lower_bound=True,
+    summary="ascending iteration on the pure-Python Bellman-Ford oracle "
+            "(reference baseline, no vectorized fast paths)",
+)
+def max_cycle_ratio_bellman(
+    graph: BiValuedGraph,
+    *,
+    lower_bound: Optional[Fraction] = None,
+) -> CycleResult:
+    """Exact λ* via ratio iteration over the queue-based Python oracle.
+
+    Identical contract (and results) to
+    :func:`repro.mcrp.max_cycle_ratio`; only the oracle implementation
+    differs — this engine never touches the numpy Jacobi sweep, which
+    makes it the ground truth the vectorized paths are validated
+    against, and a sane choice on tiny graphs where array setup
+    dominates.
+    """
+    from repro.mcrp.ratio_iteration import max_cycle_ratio
+
+    return max_cycle_ratio(
+        graph, lower_bound=lower_bound, oracle=_python_oracle
+    )

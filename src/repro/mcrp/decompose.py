@@ -33,8 +33,17 @@ from repro.mcrp.ratio_iteration import max_cycle_ratio
 
 
 def strongly_connected_node_sets(graph: BiValuedGraph) -> List[List[int]]:
-    """Tarjan SCCs over a bi-valued graph (iterative), largest first."""
-    n = graph.node_count
+    """Tarjan SCCs over the compiled CSR arc arrays (iterative), largest first.
+
+    The sweep never touches Python adjacency *objects*: children are read
+    straight from the compiled ``indptr``/``csr_arcs``/``dst`` arrays,
+    which the graph's other consumers (oracle, potentials) share.
+    """
+    compiled = graph.compile()
+    n = compiled.node_count
+    indptr = compiled.indptr
+    csr_arcs = compiled.csr_arcs
+    arc_dst = compiled.dst
     index = [-1] * n
     low = [0] * n
     on_stack = [False] * n
@@ -44,22 +53,22 @@ def strongly_connected_node_sets(graph: BiValuedGraph) -> List[List[int]]:
     for root in range(n):
         if index[root] != -1:
             continue
-        work: List[Tuple[int, int]] = [(root, 0)]
+        work: List[Tuple[int, int]] = [(root, indptr[root])]
         while work:
             node, pos = work[-1]
-            if pos == 0:
+            if pos == indptr[node]:
                 index[node] = low[node] = counter[0]
                 counter[0] += 1
                 stack.append(node)
                 on_stack[node] = True
-            arcs = graph.out_arcs(node)
+            end = indptr[node + 1]
             advanced = False
-            while pos < len(arcs):
-                child = graph.arc_dst[arcs[pos]]
+            while pos < end:
+                child = arc_dst[csr_arcs[pos]]
                 pos += 1
                 if index[child] == -1:
                     work[-1] = (node, pos)
-                    work.append((child, 0))
+                    work.append((child, indptr[child]))
                     advanced = True
                     break
                 if on_stack[child]:
@@ -87,6 +96,10 @@ def _subgraph(
     graph: BiValuedGraph, nodes: List[int]
 ) -> Tuple[BiValuedGraph, List[int], List[int]]:
     """Induced subgraph + (local→global node map, local→global arc map)."""
+    compiled = graph.compile()
+    indptr = compiled.indptr
+    csr_arcs = compiled.csr_arcs
+    arc_dst = compiled.dst
     local_of = {g: l for l, g in enumerate(nodes)}
     sub = BiValuedGraph(len(nodes), labels=[graph.labels[g] for g in nodes])
     arc_map: List[int] = []
@@ -96,8 +109,9 @@ def _subgraph(
     transits = []
     for g_node in nodes:
         src_local = local_of[g_node]
-        for arc in graph.out_arcs(g_node):
-            dst_local = local_of.get(graph.arc_dst[arc])
+        for pos in range(indptr[g_node], indptr[g_node + 1]):
+            arc = csr_arcs[pos]
+            dst_local = local_of.get(arc_dst[arc])
             if dst_local is not None:
                 srcs.append(src_local)
                 dsts.append(dst_local)
@@ -113,12 +127,17 @@ def max_cycle_ratio_sccs(
     *,
     engine: Callable[..., CycleResult] = max_cycle_ratio,
     lower_bound: Optional[Fraction] = None,
+    seed_lower_bound: bool = True,
 ) -> CycleResult:
     """λ* by per-SCC solving with champion pruning.
 
     Same contract as :func:`repro.mcrp.max_cycle_ratio`; node/arc ids of
     the returned circuit refer to the *input* graph. ``lower_bound``
-    (certified) seeds the champion and the first component's engine.
+    (certified) seeds the champion used for probe pruning — which is
+    sound for every engine — and, when ``seed_lower_bound`` is true
+    (the engine accepts a ``lower_bound=`` keyword, see the registry's
+    ``supports_lower_bound`` capability), also warm-starts each
+    component's engine call.
     """
     components = [
         c for c in strongly_connected_node_sets(graph)
@@ -135,7 +154,10 @@ def max_cycle_ratio_sccs(
         nonlocal best, champion, iterations
         sub, node_map, arc_map = _subgraph(graph, nodes)
         try:
-            result = engine(sub, lower_bound=champion)
+            if seed_lower_bound:
+                result = engine(sub, lower_bound=champion)
+            else:
+                result = engine(sub)
         except DeadlockError as exc:
             if exc.cycle_nodes is not None:
                 exc.cycle_nodes = [node_map[v] for v in exc.cycle_nodes]

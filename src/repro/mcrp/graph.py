@@ -42,6 +42,7 @@ class BiValuedGraph:
         self.arc_cost: List[Fraction] = []    # L(e)
         self.arc_transit: List[Fraction] = []  # H(e)
         self._out: List[List[int]] = [[] for _ in range(node_count)]
+        self._compiled = None
 
     # ------------------------------------------------------------------
     def add_node(self, label: Hashable = None) -> int:
@@ -49,6 +50,7 @@ class BiValuedGraph:
         self.node_count += 1
         self.labels.append(label if label is not None else idx)
         self._out.append([])
+        self._compiled = None
         return idx
 
     def add_arc(self, src: int, dst: int, cost, transit) -> int:
@@ -61,6 +63,7 @@ class BiValuedGraph:
         self.arc_cost.append(Fraction(cost))
         self.arc_transit.append(Fraction(transit))
         self._out[src].append(idx)
+        self._compiled = None
         return idx
 
     def extend_arcs(self, srcs, dsts, costs, transits) -> None:
@@ -77,10 +80,35 @@ class BiValuedGraph:
         out = self._out
         for i, s in enumerate(self.arc_src[base:], start=base):
             out[s].append(i)
+        self._compiled = None
 
     @property
     def arc_count(self) -> int:
         return len(self.arc_src)
+
+    # ------------------------------------------------------------------
+    def compile(self):
+        """Frozen arc-array (CSR) form of this graph, cached until mutation.
+
+        Returns a :class:`repro.mcrp.compiled.CompiledGraph`. Every
+        solver-facing consumer (positive-cycle oracle, SCC sweep,
+        longest-path potentials, float prefilters) works off this one
+        shared compilation, so repeated solves on the same graph pay the
+        array construction exactly once.
+
+        Mutating the arc lists *directly* (bypassing
+        :meth:`add_arc`/:meth:`extend_arcs`) leaves a stale cache; call
+        :meth:`invalidate` afterwards in that case.
+        """
+        if self._compiled is None:
+            from repro.mcrp.compiled import compile_graph
+
+            self._compiled = compile_graph(self)
+        return self._compiled
+
+    def invalidate(self) -> None:
+        """Drop the cached compilation (after in-place arc edits)."""
+        self._compiled = None
 
     def out_arcs(self, node: int) -> List[int]:
         return self._out[node]
@@ -111,13 +139,6 @@ class BiValuedGraph:
                 raise ValueError("arc sequence is not a path")
         if self.arc_dst[arc_indices[-1]] != self.arc_src[arc_indices[0]]:
             raise ValueError("arc sequence does not close a cycle")
-
-    def float_weights(self) -> Tuple[List[float], List[float]]:
-        """Float copies of (L, H) for the fast float engines."""
-        return (
-            [float(c) for c in self.arc_cost],
-            [float(h) for h in self.arc_transit],
-        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BiValuedGraph(nodes={self.node_count}, arcs={self.arc_count})"

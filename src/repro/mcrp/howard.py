@@ -7,6 +7,10 @@ ratio iteration is started from it. On well-behaved graphs the ascending
 phase terminates after a single no-op Bellman-Ford pass, so the overall
 cost is Howard's float iterations plus one exact certification sweep.
 
+The float phase reads the compiled core's precomputed shadow weights
+(``cost_float``/``transit_float``) — no per-call Fraction-to-float
+conversion — and sums candidate cycles in scaled integers.
+
 Howard's method assumes cycles have positive transit; graphs violating
 that (deadlocks) are caught by the exact phase, never mis-certified.
 """
@@ -18,10 +22,18 @@ from typing import List, Optional
 
 from repro.mcrp.graph import BiValuedGraph, CycleResult
 from repro.mcrp.ratio_iteration import max_cycle_ratio
+from repro.mcrp.registry import register_engine
 
 _EPS = 1e-9
 
 
+@register_engine(
+    "howard",
+    float_prefilter=True,
+    supports_lower_bound=True,
+    summary="float Howard policy iteration, certified by the exact "
+            "ascending engine",
+)
 def max_cycle_ratio_howard(
     graph: BiValuedGraph,
     *,
@@ -51,12 +63,21 @@ def _howard_float_hint(
     Returns None when no usable policy cycle is found (e.g. acyclic
     graphs); any returned value is the exact ratio of a real cycle and is
     therefore a sound lower bound for the ascending exact engine.
+
+    (The ``hybrid`` engine runs its own *vectorized* variant of this
+    phase — see :mod:`repro.mcrp.hybrid`; this loop is the transparent
+    reference implementation.)
     """
     n = graph.node_count
     if n == 0 or graph.arc_count == 0:
         return None
-    cost_f, transit_f = graph.float_weights()
-    out_arcs = [graph.out_arcs(v) for v in range(n)]
+    compiled = graph.compile()
+    cost_f = compiled.cost_float
+    transit_f = compiled.transit_float
+    cost_i = compiled.cost
+    transit_i = compiled.transit
+    out_arcs = compiled.out_arcs
+    arc_dst = compiled.dst
 
     # Initial policy: for each node with successors, arc of max cost.
     policy: List[Optional[int]] = [None] * n
@@ -70,12 +91,12 @@ def _howard_float_hint(
         cycle = _policy_cycle(graph, policy)
         if cycle is None:
             break
-        num = sum(graph.arc_cost[a] for a in cycle)
-        den = sum(graph.arc_transit[a] for a in cycle)
+        num = sum(cost_i[a] for a in cycle)
+        den = sum(transit_i[a] for a in cycle)
         if den <= 0:
             # Deadlock-shaped policy cycle: leave it to the exact engine.
             break
-        exact = Fraction(num, den)
+        exact = Fraction(num, den)  # the common scale cancels
         if best_exact is None or exact > best_exact:
             best_exact = exact
         lam = float(exact)
@@ -88,10 +109,10 @@ def _howard_float_hint(
             best_val = (
                 cost_f[best_arc]
                 - lam * transit_f[best_arc]
-                + values[graph.arc_dst[best_arc]]
+                + values[arc_dst[best_arc]]
             )
             for a in out_arcs[v]:
-                cand = cost_f[a] - lam * transit_f[a] + values[graph.arc_dst[a]]
+                cand = cost_f[a] - lam * transit_f[a] + values[arc_dst[a]]
                 if cand > best_val + _EPS:
                     best_val = cand
                     policy[v] = a
@@ -106,8 +127,22 @@ def _policy_cycle(
     policy: List[Optional[int]],
 ) -> Optional[List[int]]:
     """Any cycle of the functional policy graph (arc indices), or None."""
-    n = graph.node_count
+    cycles = policy_cycles(graph.compile().dst, policy)
+    return cycles[0] if cycles else None
+
+
+def policy_cycles(arc_dst, policy) -> List[List[int]]:
+    """Every cycle of a functional policy graph (arc-index lists).
+
+    ``policy[v]`` is the chosen out-arc of ``v`` (``None`` or a negative
+    value marks "no arc"). A functional graph has at most one cycle per
+    weakly connected component; one chase per unvisited node finds them
+    all in O(n). Shared by the reference Howard engine and the hybrid
+    engine's vectorized prefilter.
+    """
+    n = len(policy)
     state = [0] * n  # 0 unvisited, 1 in current chain, 2 done
+    cycles: List[List[int]] = []
     for root in range(n):
         if state[root] != 0:
             continue
@@ -117,15 +152,17 @@ def _policy_cycle(
             if state[node] == 1:
                 # Found a cycle: trim the chain prefix before `node`.
                 idx = chain.index(node)
-                return [policy[v] for v in chain[idx:]]  # type: ignore[misc]
-            if state[node] == 2 or policy[node] is None:
+                cycles.append([policy[v] for v in chain[idx:]])
+                break
+            arc = policy[node]
+            if state[node] == 2 or arc is None or arc < 0:
                 break
             state[node] = 1
             chain.append(node)
-            node = graph.arc_dst[policy[node]]  # type: ignore[index]
+            node = arc_dst[arc]
         for v in chain:
             state[v] = 2
-    return None
+    return cycles
 
 
 def _policy_values(
@@ -136,42 +173,61 @@ def _policy_values(
     cost_f: List[float],
     transit_f: List[float],
 ) -> List[float]:
-    """Node potentials for the current policy at ratio ``lam``.
+    compiled = graph.compile()
+    return policy_values(
+        compiled.src, compiled.dst, policy, cycle, lam, cost_f, transit_f
+    )
+
+
+def policy_values(
+    arc_src,
+    arc_dst,
+    policy,
+    cycle: List[int],
+    lam: float,
+    cost_f,
+    transit_f,
+) -> List[float]:
+    """Float node potentials for a policy at ratio ``lam``.
 
     Nodes on the reference cycle get value 0 at the cycle entry and are
     propagated along the cycle; every node whose policy path reaches the
     evaluated region is solved by reverse topological relaxation
     (iterative, bounded passes — floats only need to be good enough to
-    steer the policy, exactness comes later).
+    steer the policy, exactness comes later). ``policy`` marks "no arc"
+    with ``None`` or a negative value; shared by the reference Howard
+    engine and the hybrid engine's vectorized prefilter.
     """
-    n = graph.node_count
+    n = len(policy)
     values = [0.0] * n
     known = [False] * n
-    node = graph.arc_src[cycle[0]]
+    node = arc_src[cycle[0]]
     values[node] = 0.0
     known[node] = True
     acc = 0.0
     for arc in cycle[:-1]:
         acc += cost_f[arc] - lam * transit_f[arc]
-        nxt = graph.arc_dst[arc]
+        nxt = arc_dst[arc]
         values[nxt] = acc
         known[nxt] = True
     # Propagate to the rest of the policy tree by chasing each node's
     # successor chain once (the policy graph is functional, so this is
     # O(n) total): unwind the visited chain when a known value — or a
     # foreign cycle, valued 0 as a neutral anchor — is reached.
+    def has_arc(v):
+        arc = policy[v]
+        return arc is not None and arc >= 0
+
     for start in range(n):
-        if known[start] or policy[start] is None:
+        if known[start] or not has_arc(start):
             continue
         chain = []
         on_chain = set()
         v = start
-        while (
-            not known[v] and policy[v] is not None and v not in on_chain
-        ):
+        while not known[v] and has_arc(v) and v not in on_chain:
             chain.append(v)
             on_chain.add(v)
-            v = graph.arc_dst[policy[v]]  # type: ignore[index]
+            v = arc_dst[policy[v]]
         if not known[v]:
             # dead end or a second policy cycle: anchor at 0.
             values[v] = 0.0
@@ -182,7 +238,7 @@ def _policy_values(
             arc = policy[u]
             values[u] = (
                 cost_f[arc] - lam * transit_f[arc]
-                + values[graph.arc_dst[arc]]
+                + values[arc_dst[arc]]
             )
             known[u] = True
     return values

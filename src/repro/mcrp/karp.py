@@ -1,26 +1,34 @@
-"""Karp's algorithm: exact maximum cycle *mean* (unit transit times).
+"""Karp's algorithm: exact maximum cycle mean, and a ratio engine on top.
 
-Used by the HSDF expansion baseline, where every precedence arc has
-``H = 1`` and the throughput bound is a maximum cycle mean rather than a
-general ratio. Karp's theorem:
+Karp's theorem, for arc weights ``w`` over a graph with a virtual source
+connected to all nodes at cost 0:
 
-    ``λ* = max_v min_{0 ≤ k < n} (D_n(v) − D_k(v)) / (n − k)``
+    ``μ* = max_v min_{0 ≤ k < n} (D_n(v) − D_k(v)) / (n − k)``
 
-with ``D_k(v)`` the maximum cost of a ``k``-arc walk ending at ``v``
-(``−∞`` when none exists), computed from a virtual source connected to all
-nodes with zero cost.
+with ``D_k(v)`` the maximum ``w``-value of a ``k``-arc walk ending at
+``v`` (``−∞`` when none exists). The implementation is exact
+(integer/Fraction arithmetic), recovers a critical cycle from the
+``D_n`` predecessor walk, and runs in Θ(nm).
 
-The implementation is exact (integer/Fraction arithmetic) and recovers a
-critical cycle from the ``D_n`` predecessor walk. Complexity Θ(nm).
+Two consumers share the core:
+
+* :func:`max_cycle_mean` — the classical maximum cycle *mean* (unit
+  transit times), used by the HSDF expansion baseline;
+* the ``karp`` registry engine :func:`max_cycle_ratio_karp` — the
+  general bi-valued MCRP solved by ascending ratio iteration whose
+  positive-cycle oracle is a Karp table over the parametric weights
+  ``b·L − a·H`` (the maximum cycle mean is positive iff some cycle is
+  positive, and the recovered critical-mean cycle *is* such a cycle).
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import SolverError
 from repro.mcrp.graph import BiValuedGraph, CycleResult
+from repro.mcrp.registry import register_engine
 
 
 def max_cycle_mean(graph: BiValuedGraph) -> CycleResult:
@@ -32,24 +40,48 @@ def max_cycle_mean(graph: BiValuedGraph) -> CycleResult:
     n = graph.node_count
     if n == 0 or graph.arc_count == 0:
         return CycleResult(ratio=None)
-    out_arcs = [graph.out_arcs(v) for v in range(n)]
-    costs = graph.arc_cost
+    compiled = graph.compile()
+    mean, cycle_arcs = _best_mean_cycle(
+        n, compiled.out_arcs, compiled.src, compiled.dst, graph.arc_cost
+    )
+    if mean is None:
+        return CycleResult(ratio=None)
+    return CycleResult(
+        ratio=mean,
+        cycle_arcs=cycle_arcs,
+        cycle_nodes=[graph.arc_src[a] for a in cycle_arcs],
+        iterations=n,
+    )
+
+
+def _best_mean_cycle(
+    n: int,
+    out_arcs: Sequence[Sequence[int]],
+    arc_src: Sequence[int],
+    arc_dst: Sequence[int],
+    weights: Sequence,
+) -> Tuple[Optional[Fraction], Optional[List[int]]]:
+    """Karp table over arbitrary (int or Fraction) arc ``weights``.
+
+    Returns ``(best mean, critical cycle arcs)`` or ``(None, None)``
+    when the graph is acyclic.
+    """
     NEG = None  # sentinel for -infinity
 
-    # D[k][v]: best k-arc walk cost ending at v; pred[k][v]: arc used.
-    prev: List[Optional[Fraction]] = [Fraction(0)] * n
-    table: List[List[Optional[Fraction]]] = [prev]
+    # D[k][v]: best k-arc walk value ending at v; pred[k][v]: arc used.
+    prev: List = [0] * n
+    table: List[List] = [prev]
     preds: List[List[Optional[int]]] = [[None] * n]
     for _ in range(n):
-        cur: List[Optional[Fraction]] = [NEG] * n
+        cur: List = [NEG] * n
         pred_row: List[Optional[int]] = [None] * n
         for u in range(n):
             du = prev[u]
             if du is NEG:
                 continue
             for arc in out_arcs[u]:
-                v = graph.arc_dst[arc]
-                cand = du + costs[arc]
+                v = arc_dst[arc]
+                cand = du + weights[arc]
                 if cur[v] is NEG or cand > cur[v]:
                     cur[v] = cand
                     pred_row[v] = arc
@@ -57,7 +89,7 @@ def max_cycle_mean(graph: BiValuedGraph) -> CycleResult:
         preds.append(pred_row)
         prev = cur
 
-    best_ratio: Optional[Fraction] = None
+    best_mean: Optional[Fraction] = None
     best_node: Optional[int] = None
     d_n = table[n]
     for v in range(n):
@@ -70,24 +102,22 @@ def max_cycle_mean(graph: BiValuedGraph) -> CycleResult:
             mean = Fraction(d_n[v] - table[k][v], n - k)
             if worst is None or mean < worst:
                 worst = mean
-        if worst is not None and (best_ratio is None or worst > best_ratio):
-            best_ratio = worst
+        if worst is not None and (best_mean is None or worst > best_mean):
+            best_mean = worst
             best_node = v
-    if best_ratio is None:
-        return CycleResult(ratio=None)
-
-    cycle_arcs = _recover_cycle(graph, preds, best_node, best_ratio)
-    return CycleResult(
-        ratio=best_ratio,
-        cycle_arcs=cycle_arcs,
-        cycle_nodes=[graph.arc_src[a] for a in cycle_arcs],
-        iterations=n,
-    )
+    if best_mean is None:
+        return None, None
+    cycle = _recover_cycle(n, preds, arc_src, arc_dst, weights,
+                           best_node, best_mean)
+    return best_mean, cycle
 
 
 def _recover_cycle(
-    graph: BiValuedGraph,
+    n: int,
     preds: List[List[Optional[int]]],
+    arc_src: Sequence[int],
+    arc_dst: Sequence[int],
+    weights: Sequence,
     end_node: int,
     target_mean: Fraction,
 ) -> List[int]:
@@ -98,14 +128,13 @@ def _recover_cycle(
     cycles found along the way are contracted out of the walk and the scan
     continues on the shortened walk.
     """
-    n = graph.node_count
     walk_arcs: List[int] = []
     node = end_node
     for k in range(n, 0, -1):
         arc = preds[k][node]
         assert arc is not None
         walk_arcs.append(arc)
-        node = graph.arc_src[arc]
+        node = arc_src[arc]
     walk_arcs.reverse()  # forward order, starting from the walk's origin
 
     # stack of (node, incoming arc) pairs; position index per node.
@@ -113,12 +142,12 @@ def _recover_cycle(
     stack_nodes: List[int] = [node]
     stack_arcs: List[Optional[int]] = [None]
     for arc in walk_arcs:
-        cursor = graph.arc_dst[arc]
+        cursor = arc_dst[arc]
         if cursor in position:
             start = position[cursor]
             segment = [a for a in stack_arcs[start + 1:] if a is not None]
             segment.append(arc)
-            total = sum(graph.arc_cost[a] for a in segment)
+            total = sum(weights[a] for a in segment)
             if Fraction(total, len(segment)) == target_mean:
                 return segment
             # Contract the non-critical cycle and keep scanning.
@@ -133,3 +162,49 @@ def _recover_cycle(
     raise SolverError(  # pragma: no cover - contradicts Karp's theorem
         "critical walk contained no cycle of critical mean"
     )
+
+
+# ----------------------------------------------------------------------
+def _karp_oracle(scaled, lam_num: int, lam_den: int) -> Optional[List[int]]:
+    """Positive-cycle oracle backed by a Karp table.
+
+    A cycle with positive parametric weight exists iff the maximum cycle
+    mean of those weights is positive, and the recovered critical-mean
+    cycle realizes it.
+    """
+    compiled = scaled.compiled
+    weights = compiled.parametric_weights(lam_num, lam_den)
+    mean, cycle = _best_mean_cycle(
+        compiled.node_count, compiled.out_arcs,
+        compiled.src, compiled.dst, weights,
+    )
+    if mean is None or mean <= 0:
+        return None
+    return cycle
+
+
+@register_engine(
+    "karp",
+    supports_lower_bound=True,
+    quadratic=True,
+    summary="ascending iteration on a Karp-table oracle "
+            "(Θ(nm) per probe; cycle-mean core shared with the HSDF "
+            "baseline)",
+)
+def max_cycle_ratio_karp(
+    graph: BiValuedGraph,
+    *,
+    lower_bound: Optional[Fraction] = None,
+) -> CycleResult:
+    """Exact maximum cycle ratio with Karp tables as the oracle.
+
+    Same contract as :func:`repro.mcrp.max_cycle_ratio` — exact ``λ*``,
+    critical-circuit certificate, ``DeadlockError`` on infeasible
+    cycles. Dense and allocation-heavy (Θ(nm) per probe), so it is the
+    cross-check engine for small and medium graphs, not the production
+    path.
+    """
+    from repro.mcrp.ratio_iteration import max_cycle_ratio
+
+    return max_cycle_ratio(graph, lower_bound=lower_bound,
+                           oracle=_karp_oracle)

@@ -25,8 +25,14 @@ from repro.mcrp.bellman import (
     find_positive_cycle,
 )
 from repro.mcrp.graph import BiValuedGraph, CycleResult
+from repro.mcrp.registry import register_engine
 
 
+@register_engine(
+    "lawler",
+    summary="rational binary search with jump-tightened lower bounds "
+            "(independent cross-check engine)",
+)
 def max_cycle_ratio_lawler(graph: BiValuedGraph) -> CycleResult:
     """Exact maximum cycle ratio by rational binary search.
 

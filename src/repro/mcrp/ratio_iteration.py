@@ -22,7 +22,7 @@ All arithmetic is exact; see :mod:`repro.mcrp.bellman`.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Optional
+from typing import Callable, List, Optional
 
 from repro.exceptions import DeadlockError, SolverError
 from repro.mcrp.bellman import (
@@ -31,13 +31,23 @@ from repro.mcrp.bellman import (
     find_positive_cycle,
 )
 from repro.mcrp.graph import BiValuedGraph, CycleResult
+from repro.mcrp.registry import register_engine
+
+#: A positive-cycle oracle: ``(scaled, lam_num, lam_den) -> cycle | None``.
+Oracle = Callable[[ScaledGraph, int, int], Optional[List[int]]]
 
 
+@register_engine(
+    "ratio-iteration",
+    supports_lower_bound=True,
+    summary="ascending exact cycle-ratio iteration (default engine)",
+)
 def max_cycle_ratio(
     graph: BiValuedGraph,
     *,
     lower_bound: Optional[Fraction] = None,
     max_iterations: int = 1_000_000,
+    oracle: Optional[Oracle] = None,
     _retried: bool = False,
 ) -> CycleResult:
     """Exact maximum cycle ratio ``λ*`` with a critical-circuit certificate.
@@ -54,6 +64,11 @@ def max_cycle_ratio(
         certified cycle ratio). Must genuinely be a lower bound; it is
         validated by the convergence logic (an overshoot is detected and
         the search restarts from 0).
+    oracle:
+        Positive-cycle oracle to drive the iteration with (defaults to
+        the dispatching :func:`repro.mcrp.bellman.find_positive_cycle`).
+        The ``bellman`` and ``karp`` registry engines are this very
+        iteration running alternative oracles.
 
     Returns
     -------
@@ -66,11 +81,13 @@ def max_cycle_ratio(
         If some cycle has positive cost but non-positive transit (no
         finite period satisfies the constraints).
     """
-    if any(c < 0 for c in graph.arc_cost):
-        raise SolverError("ratio iteration requires non-negative arc costs")
-    scaled = ScaledGraph(graph)
     if graph.node_count == 0 or graph.arc_count == 0:
         return CycleResult(ratio=None)
+    scaled = ScaledGraph(graph)
+    if scaled.compiled.has_negative_cost:
+        raise SolverError("ratio iteration requires non-negative arc costs")
+    if oracle is None:
+        oracle = find_positive_cycle
 
     lam = Fraction(0) if lower_bound is None else Fraction(lower_bound)
     if lam < 0:
@@ -84,7 +101,7 @@ def max_cycle_ratio(
             raise SolverError(
                 f"ratio iteration did not converge in {max_iterations} steps"
             )
-        cycle = find_positive_cycle(scaled, lam.numerator, lam.denominator)
+        cycle = oracle(scaled, lam.numerator, lam.denominator)
         if cycle is None:
             break
         cost, transit = scaled.cycle_ratio(cycle)
@@ -110,9 +127,12 @@ def max_cycle_ratio(
                     graph,
                     lower_bound=lam - Fraction(1, 2),
                     max_iterations=max_iterations,
+                    oracle=oracle,
                     _retried=True,
                 )
-            return max_cycle_ratio(graph, max_iterations=max_iterations)
+            return max_cycle_ratio(
+                graph, max_iterations=max_iterations, oracle=oracle
+            )
         # λ* ≤ 0 with non-negative costs: every cycle has zero total cost.
         # certify_zero_ratio returns an H>0 cycle (ratio 0), None when the
         # graph imposes no period bound, or raises DeadlockError on a

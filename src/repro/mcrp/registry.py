@@ -1,0 +1,156 @@
+"""The MCRP engine registry: one surface for every solver consumer.
+
+Engines register themselves with :func:`register_engine` at module
+import; the k-periodic solver, the CLI, the bench harness and the
+ablation benchmarks all enumerate the same table instead of wiring up
+private engine dicts. Each entry carries capability metadata so the
+shared solve pipeline (:func:`solve_mcrp`) knows how to drive the
+engine:
+
+``exact``
+    The returned ``CycleResult.ratio`` is the exact ``λ*`` (every
+    built-in engine is exact; float phases are prefilters only).
+``float_prefilter``
+    The engine runs a float phase before exact certification (Howard,
+    hybrid) — useful for benchmark grouping.
+``supports_scc``
+    The engine may be run per strongly connected component by
+    :func:`repro.mcrp.decompose.max_cycle_ratio_sccs`.
+``supports_lower_bound``
+    The engine accepts a certified ``lower_bound=`` keyword to warm
+    start from.
+``quadratic``
+    The engine's oracle is Θ(nm) per probe (Karp) — benchmark drivers
+    keep such engines off the largest instances.
+
+Adding an engine
+----------------
+Write a function with the :func:`repro.mcrp.max_cycle_ratio` contract
+(takes a ``BiValuedGraph``, returns a ``CycleResult``, raises
+``DeadlockError`` on infeasible constraint cycles) and decorate it::
+
+    from repro.mcrp.registry import register_engine
+
+    @register_engine("my-engine", supports_lower_bound=True,
+                     summary="one-line description")
+    def max_cycle_ratio_mine(graph, *, lower_bound=None):
+        ...
+
+Import the defining module from :mod:`repro.mcrp` so registration
+happens on package import, and the engine becomes selectable everywhere
+(``min_period_for_k(..., engine="my-engine")``, ``repro throughput
+--engine my-engine``, the cross-engine property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.exceptions import SolverError
+from repro.mcrp.graph import BiValuedGraph, CycleResult
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Registry entry: the solve callable plus capability metadata."""
+
+    name: str
+    solve: Callable[..., CycleResult]
+    exact: bool = True
+    float_prefilter: bool = False
+    supports_scc: bool = True
+    supports_lower_bound: bool = False
+    quadratic: bool = False
+    summary: str = ""
+
+
+_REGISTRY: Dict[str, EngineInfo] = {}
+
+
+def register_engine(
+    name: str,
+    *,
+    exact: bool = True,
+    float_prefilter: bool = False,
+    supports_scc: bool = True,
+    supports_lower_bound: bool = False,
+    quadratic: bool = False,
+    summary: str = "",
+):
+    """Class-of-service decorator registering an MCRP engine by name."""
+
+    def decorator(fn: Callable[..., CycleResult]) -> Callable[..., CycleResult]:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate MCRP engine name {name!r}")
+        _REGISTRY[name] = EngineInfo(
+            name=name,
+            solve=fn,
+            exact=exact,
+            float_prefilter=float_prefilter,
+            supports_scc=supports_scc,
+            supports_lower_bound=supports_lower_bound,
+            quadratic=quadratic,
+            summary=summary,
+        )
+        return fn
+
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    """Import the engine modules so their decorators have run."""
+    import repro.mcrp  # noqa: F401  (package import registers everything)
+
+
+def engine_names() -> List[str]:
+    """Sorted names of every registered engine."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def all_engines() -> List[EngineInfo]:
+    """Every registry entry, sorted by name."""
+    _ensure_builtins()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_engine(name: str) -> EngineInfo:
+    """Look up an engine; :class:`SolverError` names the choices on a miss."""
+    _ensure_builtins()
+    info = _REGISTRY.get(name)
+    if info is None:
+        raise SolverError(
+            f"unknown MCRP engine {name!r}; choose from {sorted(_REGISTRY)}"
+        )
+    return info
+
+
+def solve_mcrp(
+    graph: BiValuedGraph,
+    engine: Union[str, EngineInfo] = "ratio-iteration",
+    *,
+    lower_bound: Optional[Fraction] = None,
+    decompose: bool = True,
+) -> CycleResult:
+    """Solve the MCRP with a named engine through the shared pipeline.
+
+    Applies the SCC sweep with champion pruning when the engine supports
+    it; ``lower_bound`` (a certified lower bound on ``λ*``) always seeds
+    the pruning champion, and additionally warm-starts the engine when
+    it accepts bounds.
+    """
+    info = get_engine(engine) if isinstance(engine, str) else engine
+    if decompose and info.supports_scc:
+        from repro.mcrp.decompose import max_cycle_ratio_sccs
+
+        return max_cycle_ratio_sccs(
+            graph,
+            engine=info.solve,
+            lower_bound=lower_bound,
+            seed_lower_bound=info.supports_lower_bound,
+        )
+    if info.supports_lower_bound and lower_bound is not None:
+        return info.solve(graph, lower_bound=lower_bound)
+    return info.solve(graph)

@@ -35,8 +35,20 @@ class TestRunner:
             assert run_method(method, cycle, budget=10).period == 2
 
     def test_unknown_method(self, cycle):
-        with pytest.raises(ValueError):
+        from repro.exceptions import SolverError
+
+        with pytest.raises(SolverError, match="unknown method"):
             run_method("magic", cycle, budget=1)
+
+    def test_conflicting_engine_spellings_rejected(self, cycle):
+        from repro.exceptions import SolverError
+
+        with pytest.raises(SolverError, match="conflicting"):
+            run_method("kiter@howard", cycle, budget=1, engine="lawler")
+        # agreeing spellings are fine
+        assert run_method(
+            "kiter@howard", cycle, budget=10, engine="howard"
+        ).period == 2
 
     def test_deadlock_status(self, deadlocked_cycle):
         assert run_method(

@@ -1,0 +1,108 @@
+"""Regenerate the golden regression corpus under ``tests/data/``.
+
+Each corpus graph is saved together with its exact period only after
+**triple verification**: K-Iter, symbolic execution and (for the small
+instances that lead the index) CSDF unfolding must all agree on the
+exact ``Fraction``. The corpus is deliberately small and fast — it is
+the cheap regression net ``tests/test_golden_corpus.py`` runs on every
+engine change.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_golden_corpus.py
+
+Rewrites ``tests/data/*.json`` and ``tests/data/golden_index.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+from pathlib import Path
+
+from repro.baselines import throughput_symbolic
+from repro.baselines.unfolding import throughput_unfolding
+from repro.generators.paper import figure1_buffer, figure2_graph
+from repro.generators.dsp import modem, samplerate_converter
+from repro.generators.synthetic import graph1, graph2, graph3
+from repro.io import save_graph
+from repro.kperiodic import throughput_kiter
+
+DATA = Path(__file__).resolve().parent.parent / "tests" / "data"
+
+
+def random_live_graph(seed: int, tasks: int = 5, csdf_phases: int = 2):
+    """Small random live CSDFG (mirrors ``tests.conftest``'s factory)."""
+    from repro.generators._machinery import GraphSpec, random_q_vector
+
+    rng = random.Random(seed)
+    spec = GraphSpec(f"rand{seed}", rng)
+    q_values = random_q_vector(rng, tasks, max_q=4)
+    for i, q in enumerate(q_values):
+        spec.add_task(
+            f"t{i}", q, phases=rng.randint(1, csdf_phases),
+            duration_range=(0, 6),
+        )
+    names = [f"t{i}" for i in range(tasks)]
+    for i in range(1, tasks):
+        spec.connect(names[rng.randrange(i)], names[i],
+                     rate_scale=rng.randint(1, 2))
+    for _ in range(rng.randint(1, 2)):
+        j = rng.randrange(1, tasks)
+        i = rng.randrange(j)
+        spec.connect(names[j], names[i], rate_scale=1)
+    return spec.build()
+
+
+# The first six entries are also verified by CSDF unfolding in the test
+# module, so keep the smallest instances up front.
+CASES = [
+    ("figure1", figure1_buffer),
+    ("figure2", figure2_graph),
+    ("synthetic1", lambda: graph1(1)),
+    ("synthetic2", lambda: graph2(1)),
+    ("rand101", lambda: random_live_graph(101, tasks=4)),
+    ("rand202", lambda: random_live_graph(202, tasks=4)),
+    ("synthetic3", lambda: graph3(1)),
+    ("samplerate", samplerate_converter),
+    ("modem", modem),
+    ("rand303", lambda: random_live_graph(303, tasks=5)),
+    ("rand404", lambda: random_live_graph(404, tasks=5)),
+    ("rand505", lambda: random_live_graph(505, tasks=6)),
+]
+
+UNFOLDED = 6  # how many leading cases the unfolding oracle re-verifies
+
+
+def main() -> int:
+    DATA.mkdir(parents=True, exist_ok=True)
+    index = []
+    for position, (name, factory) in enumerate(CASES):
+        graph = factory()
+        period = throughput_kiter(graph).period
+        symbolic = throughput_symbolic(graph).period
+        if symbolic != period:
+            print(f"FATAL {name}: kiter={period} symbolic={symbolic}")
+            return 1
+        if position < UNFOLDED:
+            unfolded = throughput_unfolding(graph).period
+            if unfolded != period:
+                print(f"FATAL {name}: kiter={period} unfolding={unfolded}")
+                return 1
+        filename = f"golden_{name}.json"
+        save_graph(graph, DATA / filename)
+        index.append({
+            "file": filename,
+            "period": [period.numerator, period.denominator],
+        })
+        print(f"{name:<12} period={period}  -> {filename}")
+    (DATA / "golden_index.json").write_text(
+        json.dumps(index, indent=2) + "\n"
+    )
+    print(f"wrote {len(index)} cases to {DATA / 'golden_index.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
