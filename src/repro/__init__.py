@@ -61,6 +61,14 @@ from repro.model import (
     sdf,
 )
 from repro.scheduling import asap_schedule, render_gantt
+from repro.service import (
+    JobOutcome,
+    ResultCache,
+    SolverPool,
+    ThroughputJob,
+    ThroughputService,
+    graph_digest,
+)
 
 __version__ = "1.0.0"
 
@@ -98,6 +106,13 @@ __all__ = [
     # scheduling
     "asap_schedule",
     "render_gantt",
+    # service layer
+    "JobOutcome",
+    "ResultCache",
+    "SolverPool",
+    "ThroughputJob",
+    "ThroughputService",
+    "graph_digest",
     # errors
     "BudgetExceededError",
     "DeadlockError",

@@ -65,15 +65,20 @@ class MethodOutcome:
 def method_names() -> list:
     """Every method name ``run_method`` accepts.
 
-    K-Iter variants are enumerated per registered MCRP engine
-    (``kiter@<engine>``), so a new registry engine is immediately
-    benchable without touching this module.
+    K-Iter and service variants are enumerated per registered MCRP
+    engine (``kiter@<engine>``, ``service@<engine>``), so a new
+    registry engine is immediately benchable without touching this
+    module.
     """
     from repro.mcrp.registry import engine_names
 
-    base = ["kiter", "kiter-fullq", "periodic", "symbolic",
+    base = ["kiter", "kiter-fullq", "service", "periodic", "symbolic",
             "expansion", "expansion-full", "unfolding", "maxplus"]
-    return base + [f"kiter@{name}" for name in engine_names()]
+    return base + [
+        f"{prefix}@{name}"
+        for prefix in ("kiter", "service")
+        for name in engine_names()
+    ]
 
 
 def run_method(
@@ -92,20 +97,21 @@ def run_method(
     from repro.exceptions import SolverError
     from repro.mcrp.registry import get_engine
 
-    if method.startswith("kiter@"):
-        spelled = method.split("@", 1)[1]
+    if method.startswith(("kiter@", "service@")):
+        method, spelled = method.split("@", 1)
         if engine is not None and engine != spelled:
             raise SolverError(
-                f"conflicting engines: method {method!r} vs "
+                f"conflicting engines: method {method}@{spelled!r} vs "
                 f"engine={engine!r}"
             )
-        method, engine = "kiter", spelled
+        engine = spelled
     mcrp_engine = engine if engine is not None else "ratio-iteration"
     get_engine(mcrp_engine)  # fail fast on unknown engine names
-    if engine is not None and method not in ("kiter", "kiter-fullq"):
+    if engine is not None and method not in ("kiter", "kiter-fullq",
+                                             "service"):
         raise SolverError(
             f"method {method!r} does not take an MCRP engine "
-            "(only the kiter methods do)"
+            "(only the kiter and service methods do)"
         )
 
     runners: dict[str, Callable[[], Optional[Fraction]]] = {
@@ -116,6 +122,7 @@ def run_method(
             graph, time_budget=budget, update_policy="full-q",
             engine=mcrp_engine,
         ).period,
+        "service": lambda: _service(graph, mcrp_engine, budget),
         "periodic": lambda: _periodic(graph),
         "symbolic": lambda: throughput_symbolic(
             graph, time_budget=budget
@@ -154,6 +161,33 @@ def run_method(
 
 class _NotSchedulable(Exception):
     """Internal marker: the method's own relaxation is infeasible."""
+
+
+def _service(graph, engine: str, budget: float) -> Optional[Fraction]:
+    """One-shot solve through the service facade (cache disabled).
+
+    Measures the serving layer's overhead over the bare K-Iter call;
+    the batch-level speedups (dedup, cache, pool) are benchmarked by
+    ``benchmarks/bench_service.py``.
+    """
+    from repro.exceptions import SolverError
+    from repro.service import ResultCache, ThroughputService
+
+    # No fallback chain: a bench row labelled service@<engine> must
+    # fail like kiter@<engine> does, not silently report another
+    # engine's numbers.
+    service = ThroughputService(
+        engine=engine, fallback_engines=(), time_budget=budget,
+        cache=ResultCache(memory_size=0),
+    )
+    outcome = service.submit(graph)
+    if outcome.status == "DEADLOCK":
+        raise DeadlockError(outcome.error)
+    if outcome.status == "TIMEOUT":
+        raise BudgetExceededError(outcome.error)
+    if outcome.status != "OK":
+        raise SolverError(outcome.error or "service job failed")
+    return outcome.period
 
 
 def _maxplus(graph) -> Optional[Fraction]:

@@ -4,6 +4,8 @@ Commands
 --------
 ``info``        graph summary, repetition vector, liveness, period bounds
 ``throughput``  exact/approximate throughput with a chosen method
+``batch``       run a manifest of graphs through the throughput service
+``serve-stats`` summarize the service's on-disk result cache
 ``convert``     JSON ↔ SDF3-XML ↔ DOT conversion (by file extension)
 ``gantt``       ASCII Gantt of the ASAP or optimal K-periodic schedule
 ``generate``    emit a benchmark graph (paper figures, apps, categories)
@@ -100,6 +102,147 @@ def cmd_throughput(args) -> int:
             print(f"throughput: {th} (~{float(th):.6g})")
     print(f"time: {outcome.time_text()}")
     return 0 if outcome.status in ("OK",) else 1
+
+
+def _load_manifest(path: str):
+    """Parse a batch manifest into ``(label, graph_path, expected)`` rows.
+
+    Accepted shapes (all JSON): a list of path strings; a list of
+    objects with ``"file"`` and an optional exact ``"period"``
+    ``[num, den]`` pair (the golden-corpus ``golden_index.json`` is
+    exactly this); or an object with a ``"graphs"`` key holding either.
+    Paths are resolved relative to the manifest's directory.
+    """
+    import json
+
+    manifest_path = Path(path)
+    try:
+        payload = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read manifest {path!r}: {exc}") from exc
+    if isinstance(payload, dict):
+        payload = payload.get("graphs")
+    if not isinstance(payload, list) or not payload:
+        raise ReproError(
+            f"manifest {path!r} must be a non-empty JSON list of graph "
+            "paths or {file, period?} objects (or {'graphs': [...]})"
+        )
+    rows = []
+    for entry in payload:
+        if isinstance(entry, str):
+            file_name, expected = entry, None
+        elif isinstance(entry, dict) and "file" in entry:
+            file_name = entry["file"]
+            period = entry.get("period")
+            expected = None if period is None else Fraction(*period)
+        else:
+            raise ReproError(f"bad manifest entry {entry!r}")
+        rows.append(
+            (file_name, manifest_path.parent / file_name, expected)
+        )
+    return rows
+
+
+def cmd_batch(args) -> int:
+    import json
+
+    from repro.service import ResultCache, ThroughputService
+
+    rows = _load_manifest(args.manifest)
+    cache = (
+        ResultCache(disk_root=args.cache_dir)
+        if args.cache_dir else ResultCache()
+    )
+    fallbacks = (
+        tuple(args.fallback) if args.fallback else ("ratio-iteration",)
+    )
+    service = ThroughputService(
+        engine=args.engine,
+        fallback_engines=fallbacks,
+        workers=args.workers,
+        mp_context=args.mp_context,
+        chunk_size=args.chunk_size,
+        job_timeout=args.job_timeout,
+        time_budget=args.budget,
+        cache=cache,
+    )
+    failures = 0
+    mismatches = 0
+    with service:
+        jobs = [
+            service.job_for(_read_graph(str(graph_path)), label=label)
+            for label, graph_path, _expected in rows
+        ]
+        outcomes = service.submit_many(jobs)
+        with open(args.output, "w") as sink:
+            for (label, _path, expected), outcome in zip(rows, outcomes):
+                record = outcome.to_json_dict()
+                record["file"] = label
+                if outcome.status not in ("OK", "DEADLOCK"):
+                    failures += 1
+                if args.check and expected is not None:
+                    matched = outcome.period == expected
+                    record["expected_period"] = [
+                        expected.numerator, expected.denominator
+                    ]
+                    record["matched"] = matched
+                    if not matched:
+                        mismatches += 1
+                        print(
+                            f"MISMATCH {label}: expected {expected}, "
+                            f"got {outcome.period} "
+                            f"(status {outcome.status})",
+                            file=sys.stderr,
+                        )
+                sink.write(json.dumps(record) + "\n")
+        stats = service.stats()
+    print(f"wrote {args.output}: {stats.jobs} job(s), "
+          f"{stats.by_status.get('OK', 0)} OK, {failures} failed")
+    print(f"cache: {stats.cache.get('memory_hits', 0)} memory hit(s), "
+          f"{stats.cache.get('disk_hits', 0)} disk hit(s), "
+          f"{stats.batch_dedup} batch-dedup, {stats.solves} solve(s)")
+    if stats.pool:
+        print(f"pool: {args.workers} worker(s), "
+              f"{stats.pool['chunks']} chunk(s), "
+              f"{stats.pool['crashes']} crash(es), "
+              f"{stats.pool['timeouts']} timeout(s)")
+    print(f"wall time: {stats.wall_time:.3f}s")
+    if args.check:
+        checked = sum(1 for _l, _p, e in rows if e is not None)
+        print(f"check: {checked - mismatches}/{checked} exact period "
+              f"match(es)")
+    return 1 if (failures or mismatches) else 0
+
+
+def cmd_serve_stats(args) -> int:
+    from collections import Counter
+
+    from repro.service import ResultCache
+
+    cache = ResultCache(memory_size=0, disk_root=args.cache_dir)
+    statuses: Counter = Counter()
+    engines: Counter = Counter()
+    entries = 0
+    solve_time = 0.0
+    for _digest, outcome in cache.disk_entries():
+        entries += 1
+        statuses[outcome.get("status", "?")] += 1
+        engines[outcome.get("engine_used") or "?"] += 1
+        solve_time += outcome.get("wall_time", 0.0)
+    print(f"cache dir: {args.cache_dir}")
+    print(f"entries: {entries} "
+          f"({cache.disk_size_bytes() / 1024:.1f} KiB)")
+    if not entries:
+        return 0
+    print("by status: " + ", ".join(
+        f"{status}={count}" for status, count in sorted(statuses.items())
+    ))
+    print("by engine: " + ", ".join(
+        f"{engine}={count}" for engine, count in sorted(engines.items())
+    ))
+    print(f"solve time banked: {solve_time:.3f}s "
+          f"(re-spent on every hit instead of re-solving)")
+    return 0
 
 
 def cmd_convert(args) -> int:
@@ -283,6 +426,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=float, default=60.0,
                    help="wall-clock budget in seconds")
     p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser(
+        "batch",
+        help="run a manifest of graphs through the throughput service",
+    )
+    p.add_argument("manifest",
+                   help="JSON list of graph paths or {file, period?} "
+                        "objects (e.g. tests/data/golden_index.json)")
+    p.add_argument("-o", "--output", required=True,
+                   help="JSONL sink: one result object per graph")
+    p.add_argument("--workers", type=int, default=0,
+                   help="solver pool processes (0 = solve inline)")
+    p.add_argument("--engine", default="hybrid", metavar="ENGINE",
+                   help="primary MCRP engine (see `repro engines`)")
+    p.add_argument("--fallback", action="append", metavar="ENGINE",
+                   default=None,
+                   help="fallback engine(s) tried on certification "
+                        "failure (repeatable; default ratio-iteration)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persistent result cache directory "
+                        "(e.g. results/cache)")
+    p.add_argument("--budget", type=float, default=None,
+                   help="per-job wall-clock budget in seconds")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="hard per-job pool timeout in seconds "
+                        "(kills the worker)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="jobs per pool chunk (default: auto)")
+    p.add_argument("--mp-context", default=None,
+                   choices=["fork", "spawn", "forkserver"],
+                   help="multiprocessing start method")
+    p.add_argument("--check", action="store_true",
+                   help="verify exact periods against the manifest's "
+                        "`period` entries (nonzero exit on mismatch)")
+    p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "serve-stats",
+        help="summarize the service's on-disk result cache",
+    )
+    p.add_argument("--cache-dir", default="results/cache", metavar="DIR")
+    p.set_defaults(func=cmd_serve_stats)
 
     p = sub.add_parser("convert", help="convert between formats")
     p.add_argument("input")

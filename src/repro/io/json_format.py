@@ -22,37 +22,16 @@ from pathlib import Path
 from typing import Union
 
 from repro.exceptions import ModelError
-from repro.model.buffer import Buffer
-from repro.model.graph import CsdfGraph
-from repro.model.task import Task
+from repro.model.graph import (
+    DICT_FORMAT_TAG as FORMAT_TAG,
+    DICT_FORMAT_VERSION as FORMAT_VERSION,
+    CsdfGraph,
+)
 
-FORMAT_TAG = "repro-csdf"
-FORMAT_VERSION = 1
 
-
-def graph_to_json(graph: CsdfGraph) -> str:
-    """Serialize a graph to a JSON string."""
-    payload = {
-        "format": FORMAT_TAG,
-        "version": FORMAT_VERSION,
-        "name": graph.name,
-        "tasks": [
-            {"name": t.name, "durations": list(t.durations)}
-            for t in graph.tasks()
-        ],
-        "buffers": [
-            {
-                "name": b.name,
-                "source": b.source,
-                "target": b.target,
-                "production": list(b.production),
-                "consumption": list(b.consumption),
-                "initial_tokens": b.initial_tokens,
-            }
-            for b in graph.buffers()
-        ],
-    }
-    return json.dumps(payload, indent=2)
+def graph_to_json(graph: CsdfGraph, *, canonical: bool = False) -> str:
+    """Serialize a graph to a JSON string (see :meth:`CsdfGraph.to_dict`)."""
+    return json.dumps(graph.to_dict(canonical=canonical), indent=2)
 
 
 def graph_from_json(text: str) -> CsdfGraph:
@@ -61,6 +40,8 @@ def graph_from_json(text: str) -> CsdfGraph:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ModelError(f"invalid JSON: {exc}") from exc
+    # Stricter than from_dict (which defaults absent keys for in-process
+    # payloads): an on-disk document must carry both markers explicitly.
     if payload.get("format") != FORMAT_TAG:
         raise ModelError(
             f"not a {FORMAT_TAG} document (format={payload.get('format')!r})"
@@ -69,21 +50,7 @@ def graph_from_json(text: str) -> CsdfGraph:
         raise ModelError(
             f"unsupported version {payload.get('version')!r}"
         )
-    graph = CsdfGraph(payload.get("name", "csdfg"))
-    for t in payload.get("tasks", []):
-        graph.add_task(Task(t["name"], tuple(t["durations"])))
-    for b in payload.get("buffers", []):
-        graph.add_buffer(
-            Buffer(
-                name=b["name"],
-                source=b["source"],
-                target=b["target"],
-                production=tuple(b["production"]),
-                consumption=tuple(b["consumption"]),
-                initial_tokens=b.get("initial_tokens", 0),
-            )
-        )
-    return graph
+    return CsdfGraph.from_dict(payload)
 
 
 def save_graph(graph: CsdfGraph, path: Union[str, Path]) -> None:

@@ -12,7 +12,11 @@
 """
 
 from repro.kperiodic.expansion import expand_graph, expanded_repetition_vector
-from repro.kperiodic.kiter import KIterResult, throughput_kiter
+from repro.kperiodic.kiter import (
+    KIterResult,
+    solve_kiter_payload,
+    throughput_kiter,
+)
 from repro.kperiodic.optimality import critical_qbar, optimality_test
 from repro.kperiodic.schedule import KPeriodicSchedule
 from repro.kperiodic.solver import KPeriodicResult, min_period_for_k
@@ -21,6 +25,7 @@ __all__ = [
     "expand_graph",
     "expanded_repetition_vector",
     "KIterResult",
+    "solve_kiter_payload",
     "throughput_kiter",
     "critical_qbar",
     "optimality_test",

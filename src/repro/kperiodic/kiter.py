@@ -14,12 +14,14 @@ rounds is finite (empirically a handful — the whole point of the paper).
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Mapping, Optional, Set
 
 from repro.analysis.consistency import repetition_vector
-from repro.exceptions import BudgetExceededError, DeadlockError, SolverError
+from repro.exceptions import BudgetExceededError, DeadlockError, ReproError, SolverError
 from repro.kperiodic.optimality import (
     critical_qbar,
     optimality_test,
@@ -27,6 +29,7 @@ from repro.kperiodic.optimality import (
 )
 from repro.kperiodic.schedule import KPeriodicSchedule
 from repro.kperiodic.solver import KPeriodicResult, min_period_for_k
+from repro.utils.rational import lcm_list
 from repro.utils.timing import TimeBudget
 
 
@@ -44,6 +47,7 @@ class KIterRound:
     passed: bool
     graph_nodes: int
     graph_arcs: int
+    engine_iterations: int = 0
 
 
 @dataclass
@@ -71,6 +75,11 @@ class KIterResult:
     def iteration_count(self) -> int:
         return len(self.rounds)
 
+    @property
+    def engine_iteration_count(self) -> int:
+        """Total engine probes/jumps across all rounds (ablation metric)."""
+        return sum(r.engine_iterations for r in self.rounds)
+
 
 def throughput_kiter(
     graph,
@@ -81,6 +90,7 @@ def throughput_kiter(
     time_budget: Optional[float] = None,
     initial_k: Optional[Dict[str, int]] = None,
     update_policy: str = "lcm",
+    warm_start: bool = True,
 ) -> KIterResult:
     """Exact maximum throughput of a consistent CSDFG via K-Iter.
 
@@ -114,6 +124,15 @@ def throughput_kiter(
         (default); ``"full-q"`` — jump critical-circuit tasks straight to
         ``q_t`` (fewer rounds, bigger expansions; ablation A2 in
         DESIGN.md quantifies the trade).
+    warm_start:
+        Seed each round's engine with the previous round's certified
+        ``λ*`` in addition to the utilization bound (the constraint
+        graph grows along K escalation, so the previous optimum is a
+        strong — and on the golden corpus always valid — starting
+        point). Only applied when ``lcm(K)`` strictly grew, which keeps
+        the seed below the new ``λ*``; a hypothetical overshoot would
+        cost extra probes, never exactness (see
+        :func:`repro.kperiodic.solver.min_period_for_k`).
 
     Examples
     --------
@@ -128,14 +147,38 @@ def throughput_kiter(
     budget = TimeBudget(time_budget, label="K-Iter")
     rounds: List[KIterRound] = []
     infeasible_rounds = 0
+    prev_lambda: Optional[Fraction] = None
+    prev_lcm: Optional[int] = None
 
     for _ in range(max_rounds):
         budget.check()
+        lcm_k = lcm_list(K.values())
+        seed = None
+        if (
+            warm_start
+            and prev_lambda is not None
+            and prev_lcm is not None
+            and lcm_k > prev_lcm
+        ):
+            # Deliberately NOT rescaled to the new lcm: Ω = λ*/lcm(K)
+            # is non-increasing along K escalation (the K-periodic
+            # schedule class only grows), so Ω_prev·lcm_new would
+            # overshoot the new λ* and cost restart probes. The raw
+            # previous λ* stays below the new λ* whenever lcm grew
+            # (the guard above); it beats the utilization seed exactly
+            # when the certified period exceeded the utilization bound
+            # by more than the lcm growth factor.
+            seed = prev_lambda
         try:
             result: KPeriodicResult = min_period_for_k(
-                graph, K, engine=engine, build_schedule=False, repetition=q
+                graph, K, engine=engine, build_schedule=False, repetition=q,
+                warm_start=seed,
             )
         except DeadlockError as exc:
+            # The escalation jumps K along the infeasible circuit; the
+            # previous certified λ* is from a much smaller expansion and
+            # no longer a trustworthy seed.
+            prev_lambda = prev_lcm = None
             infeasible_rounds += 1
             if infeasible_rounds >= 3 and any(K[t] < q[t] for t in q):
                 # Tightly-bounded graphs can hide dozens of distinct
@@ -158,7 +201,8 @@ def throughput_kiter(
             # trivially optimal for any K.
             rounds.append(
                 KIterRound(dict(K), result.omega, set(), True,
-                           result.graph_nodes, result.graph_arcs)
+                           result.graph_nodes, result.graph_arcs,
+                           result.engine_iterations)
             )
             return _finalize(graph, q, K, result, rounds, build_schedule,
                              engine)
@@ -171,11 +215,14 @@ def throughput_kiter(
                 passed=passed,
                 graph_nodes=result.graph_nodes,
                 graph_arcs=result.graph_arcs,
+                engine_iterations=result.engine_iterations,
             )
         )
         if passed:
             return _finalize(graph, q, K, result, rounds, build_schedule,
                              engine)
+        prev_lambda = result.omega_expanded
+        prev_lcm = lcm_k
         if update_policy == "lcm":
             K = update_periodicity(K, qbar)
         elif update_policy == "full-q":
@@ -252,6 +299,96 @@ def _finalize(
         rounds=rounds,
         schedule=schedule,
     )
+
+
+def solve_kiter_payload(
+    payload: Mapping[str, Any], *, graph=None
+) -> Dict[str, Any]:
+    """Pure, picklable K-Iter entry point: plain dict in, plain dict out.
+
+    This is the function the :mod:`repro.service` process-pool workers
+    execute — a module-level callable whose input and output are both
+    JSON-able, so it crosses ``spawn``-context process boundaries and
+    result caches unchanged. ``graph`` lets a worker inject an already
+    deserialized :class:`~repro.model.graph.CsdfGraph` (per-worker graph
+    reuse); otherwise the payload's ``"graph"`` dict is decoded.
+
+    Payload keys (all optional except ``graph``): ``engine``,
+    ``fallback_engines`` (tried in order on a
+    :class:`~repro.exceptions.SolverError`, i.e. a certification
+    failure of the primary engine), ``update_policy``, ``initial_k``,
+    ``max_rounds``, ``time_budget``, ``warm_start``.
+
+    The outcome dict always carries ``status`` (``"OK"``,
+    ``"DEADLOCK"``, ``"TIMEOUT"`` or ``"ERROR"``), ``engine_used``,
+    ``fallback``, ``wall_time`` and ``worker_pid``; an ``"OK"`` outcome
+    adds the exact ``period`` as a ``[numerator, denominator]`` pair,
+    the certified ``K`` vector, ``rounds``, ``engine_iterations`` and
+    the final ``critical_tasks``.
+    """
+    from repro.model.graph import CsdfGraph
+
+    if graph is None:
+        graph = CsdfGraph.from_dict(payload["graph"])
+    engines: List[str] = [payload.get("engine", "ratio-iteration")]
+    engines.extend(payload.get("fallback_engines", ()))
+    started = time.perf_counter()
+    update_policy = payload.get("update_policy", "lcm")
+    if update_policy not in ("lcm", "full-q"):
+        # Engine-independent config error: fail once, attributed to the
+        # caller, instead of re-running the doomed solve per fallback.
+        return {
+            "status": "ERROR",
+            "error": f"unknown update_policy {update_policy!r} "
+                     "(choose 'lcm' or 'full-q')",
+            "engine_used": "", "fallback": False,
+            "wall_time": 0.0, "worker_pid": os.getpid(),
+        }
+
+    def base(engine: str, position: int) -> Dict[str, Any]:
+        return {
+            "engine_used": engine,
+            "fallback": position > 0,
+            "wall_time": time.perf_counter() - started,
+            "worker_pid": os.getpid(),
+        }
+
+    last_error = "no engine produced a result"
+    for position, engine in enumerate(engines):
+        try:
+            result = throughput_kiter(
+                graph,
+                engine=engine,
+                max_rounds=payload.get("max_rounds", 100_000),
+                time_budget=payload.get("time_budget"),
+                initial_k=payload.get("initial_k"),
+                update_policy=update_policy,
+                warm_start=payload.get("warm_start", True),
+            )
+        except SolverError as exc:
+            # Certification failure: fall through to the next engine.
+            last_error = f"{engine}: {exc}"
+            continue
+        except DeadlockError as exc:
+            return {"status": "DEADLOCK", "error": str(exc),
+                    **base(engine, position)}
+        except BudgetExceededError as exc:
+            return {"status": "TIMEOUT", "error": str(exc),
+                    **base(engine, position)}
+        except ReproError as exc:
+            return {"status": "ERROR", "error": str(exc),
+                    **base(engine, position)}
+        return {
+            "status": "OK",
+            "period": [result.period.numerator, result.period.denominator],
+            "K": dict(result.K),
+            "rounds": result.iteration_count,
+            "engine_iterations": result.engine_iteration_count,
+            "critical_tasks": sorted(result.critical_tasks),
+            **base(engine, position),
+        }
+    return {"status": "ERROR", "error": last_error,
+            **base(engines[-1], len(engines) - 1)}
 
 
 def throughput_via_full_expansion(graph, *, engine: str = "ratio-iteration"):

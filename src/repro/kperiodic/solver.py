@@ -75,6 +75,7 @@ def min_period_for_k(
     engine: str = "ratio-iteration",
     build_schedule: bool = True,
     repetition: Optional[Dict[str, int]] = None,
+    warm_start: Optional[Fraction] = None,
 ) -> KPeriodicResult:
     """Exact minimum period of a K-periodic schedule of ``graph``.
 
@@ -95,6 +96,15 @@ def min_period_for_k(
         registered by the embedding application.
     build_schedule:
         Also extract start times (longest-path potentials at λ*).
+    warm_start:
+        A seed for the engine's ascending λ search in the *expanded*
+        scale (``λ = Ω·lcm(K)``), typically the certified ``λ*`` of the
+        previous K-Iter round. Used only when it beats the utilization
+        bound. Exactness never depends on it: an overshooting seed is
+        detected by the engines (no positive cycle from an uncertified
+        start) and the search restarts, and the SCC champion used for
+        pruning is replaced by the first component's certified ratio
+        before any probe relies on it.
 
     Raises
     ------
@@ -128,6 +138,11 @@ def min_period_for_k(
     # *strictly* positive cycle at the starting λ — the engine then jumps
     # onto it immediately instead of converging without a certificate.
     lower = Fraction(utilization * lcm_k) - Fraction(1, 2)
+    if warm_start is not None:
+        # Same 1/2 backoff: when the seed *is* λ* (round i's circuit is
+        # still critical at round i+1's scale), the critical cycle stays
+        # strictly positive at the start and is certified in one jump.
+        lower = max(lower, Fraction(warm_start) - Fraction(1, 2))
     try:
         # The registry pipeline solves per strongly connected component
         # with champion pruning when the engine supports it (acyclic

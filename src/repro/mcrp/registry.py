@@ -40,6 +40,12 @@ Import the defining module from :mod:`repro.mcrp` so registration
 happens on package import, and the engine becomes selectable everywhere
 (``min_period_for_k(..., engine="my-engine")``, ``repro throughput
 --engine my-engine``, the cross-engine property tests).
+
+Out-of-tree engines need no edits here: ship the module in a
+distribution exposing it under the ``repro.engines`` entry-point group,
+or list it in the ``REPRO_ENGINE_MODULES`` environment variable
+(comma-separated module paths); both are imported lazily on the first
+registry lookup (see ``_load_plugin_engines``).
 """
 
 from __future__ import annotations
@@ -67,6 +73,12 @@ class EngineInfo:
 
 
 _REGISTRY: Dict[str, EngineInfo] = {}
+_PLUGINS_LOADED = False
+
+#: Entry-point group and environment variable scanned for out-of-tree
+#: engines (see ``_load_plugin_engines``).
+PLUGIN_ENTRY_POINT_GROUP = "repro.engines"
+PLUGIN_ENV_VAR = "REPRO_ENGINE_MODULES"
 
 
 def register_engine(
@@ -102,6 +114,62 @@ def register_engine(
 def _ensure_builtins() -> None:
     """Import the engine modules so their decorators have run."""
     import repro.mcrp  # noqa: F401  (package import registers everything)
+
+    global _PLUGINS_LOADED
+    if not _PLUGINS_LOADED:
+        # Flag only flips on success: a broken plugin keeps raising on
+        # every lookup instead of silently degrading to the built-ins.
+        _load_plugin_engines()
+        _PLUGINS_LOADED = True
+
+
+def _load_plugin_engines() -> None:
+    """Import out-of-tree engine modules (the plugin contract).
+
+    Two discovery channels, both resolved once, lazily, on the first
+    registry lookup:
+
+    * the ``repro.engines`` entry-point group — a distribution ships
+      ``[project.entry-points."repro.engines"] myengine = "mypkg.engine"``
+      and its module's :func:`register_engine` decorators run on load;
+    * the ``REPRO_ENGINE_MODULES`` environment variable — a
+      comma-separated list of importable module paths, for plugins that
+      are not installed distributions (notebooks, vendored code).
+
+    A plugin that fails to import raises :class:`SolverError`
+    immediately: a misconfigured engine source must not silently
+    degrade to the built-ins.
+    """
+    import importlib
+    import os
+
+    for name in os.environ.get(PLUGIN_ENV_VAR, "").split(","):
+        name = name.strip()
+        if not name:
+            continue
+        try:
+            importlib.import_module(name)
+        except Exception as exc:
+            raise SolverError(
+                f"failed to import engine plugin module {name!r} "
+                f"(from ${PLUGIN_ENV_VAR}): {exc}"
+            ) from exc
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - py<3.8
+        return
+    try:
+        points = entry_points(group=PLUGIN_ENTRY_POINT_GROUP)
+    except TypeError:  # pragma: no cover - py<3.10 dict API
+        points = entry_points().get(PLUGIN_ENTRY_POINT_GROUP, [])
+    for point in points:
+        try:
+            point.load()
+        except Exception as exc:
+            raise SolverError(
+                f"failed to load engine plugin entry point "
+                f"{point.name!r}: {exc}"
+            ) from exc
 
 
 def engine_names() -> List[str]:

@@ -11,11 +11,15 @@ mistake with CSDF.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.exceptions import ModelError
 from repro.model.buffer import Buffer
 from repro.model.task import Task
+
+#: Schema tag shared with :mod:`repro.io.json_format`.
+DICT_FORMAT_TAG = "repro-csdf"
+DICT_FORMAT_VERSION = 1
 
 
 class CsdfGraph:
@@ -201,6 +205,90 @@ class CsdfGraph:
             if not b.serialization:
                 g.add_buffer(b)
         return g
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self, *, canonical: bool = False) -> Dict[str, Any]:
+        """Plain-dict form of the graph (the native JSON schema).
+
+        With ``canonical=True`` tasks are sorted by name and buffers by
+        their structural content, so two graphs that differ only in
+        insertion order serialize identically — the property the service
+        layer's content-addressed digests rely on. ``canonical=False``
+        preserves insertion order (diff-friendly, matches the historical
+        on-disk files).
+
+        Examples
+        --------
+        >>> g = CsdfGraph("g")
+        >>> g.add_task(Task("B", (1,)))
+        >>> g.add_task(Task("A", (2,)))
+        >>> [t["name"] for t in g.to_dict()["tasks"]]
+        ['B', 'A']
+        >>> [t["name"] for t in g.to_dict(canonical=True)["tasks"]]
+        ['A', 'B']
+        """
+        tasks = [
+            {"name": t.name, "durations": list(t.durations)}
+            for t in self.tasks()
+        ]
+        buffers = []
+        for b in self.buffers():
+            entry: Dict[str, Any] = {
+                "name": b.name,
+                "source": b.source,
+                "target": b.target,
+                "production": list(b.production),
+                "consumption": list(b.consumption),
+                "initial_tokens": b.initial_tokens,
+            }
+            if b.serialization:
+                entry["serialization"] = True
+            buffers.append(entry)
+        if canonical:
+            tasks.sort(key=lambda t: t["name"])
+            buffers.sort(
+                key=lambda e: (
+                    e["source"], e["target"], e["production"],
+                    e["consumption"], e["initial_tokens"], e["name"],
+                )
+            )
+        return {
+            "format": DICT_FORMAT_TAG,
+            "version": DICT_FORMAT_VERSION,
+            "name": self.name,
+            "tasks": tasks,
+            "buffers": buffers,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CsdfGraph":
+        """Inverse of :meth:`to_dict` (validates the schema tag)."""
+        fmt = payload.get("format", DICT_FORMAT_TAG)
+        if fmt != DICT_FORMAT_TAG:
+            raise ModelError(
+                f"not a {DICT_FORMAT_TAG} document (format={fmt!r})"
+            )
+        version = payload.get("version", DICT_FORMAT_VERSION)
+        if version != DICT_FORMAT_VERSION:
+            raise ModelError(f"unsupported version {version!r}")
+        graph = cls(payload.get("name", "csdfg"))
+        for t in payload.get("tasks", []):
+            graph.add_task(Task(t["name"], tuple(t["durations"])))
+        for b in payload.get("buffers", []):
+            graph.add_buffer(
+                Buffer(
+                    name=b["name"],
+                    source=b["source"],
+                    target=b["target"],
+                    production=tuple(b["production"]),
+                    consumption=tuple(b["consumption"]),
+                    initial_tokens=b.get("initial_tokens", 0),
+                    serialization=b.get("serialization", False),
+                )
+            )
+        return graph
 
     # ------------------------------------------------------------------
     # Dunder / reporting

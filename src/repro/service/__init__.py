@@ -1,0 +1,46 @@
+"""The throughput-analysis serving layer.
+
+This package turns the per-query analyzer into a service front end over
+the MCRP engine registry:
+
+* :mod:`repro.service.job` — content-addressed jobs: canonical graph
+  serialization → stable SHA-256 digest, plus the structured
+  :class:`JobOutcome` every layer speaks;
+* :mod:`repro.service.cache` — the two-tier result cache (in-memory
+  LRU + on-disk JSON store, e.g. under ``results/cache/``);
+* :mod:`repro.service.pool` — :class:`SolverPool`, the chunked,
+  fault-contained ``ProcessPoolExecutor`` fan-out with per-worker graph
+  reuse;
+* :mod:`repro.service.facade` — :class:`ThroughputService`, the
+  ``submit / submit_many / map / submit_async / stats`` front door with
+  batch dedup and the engine fallback policy.
+
+``repro batch`` and ``repro serve-stats`` (CLI) and the
+``service@<engine>`` bench methods are thin wrappers over this package.
+"""
+
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.facade import ServiceStats, ThroughputService
+from repro.service.job import (
+    CACHE_SCHEMA_VERSION,
+    JobOutcome,
+    ThroughputJob,
+    canonical_graph_dict,
+    graph_digest,
+)
+from repro.service.pool import PoolStats, SolverPool, solve_chunk
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "JobOutcome",
+    "PoolStats",
+    "ResultCache",
+    "ServiceStats",
+    "SolverPool",
+    "ThroughputJob",
+    "ThroughputService",
+    "canonical_graph_dict",
+    "graph_digest",
+    "solve_chunk",
+]

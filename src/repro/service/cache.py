@@ -1,0 +1,176 @@
+"""Two-tier result cache: in-memory LRU in front of an on-disk JSON store.
+
+Tier 1 is a thread-safe LRU of outcome dicts keyed by job digest; tier 2
+(optional) is one JSON file per digest under ``<root>/<digest[:2]>/``,
+written atomically (temp file + ``os.replace``), so concurrent batch
+runs sharing ``results/cache/`` never observe torn entries. A disk hit
+is promoted into the memory tier.
+
+Only deterministic outcomes belong here — the service layer filters on
+:attr:`JobOutcome.cacheable` before calling :meth:`ResultCache.put`.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters across both tiers."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+        }
+
+
+class ResultCache:
+    """Digest-addressed outcome store with LRU memory and JSON disk tiers.
+
+    Parameters
+    ----------
+    memory_size:
+        Maximum entries held in the LRU tier (0 disables it).
+    disk_root:
+        Directory of the persistent tier; ``None`` disables it. Created
+        lazily on the first put.
+    """
+
+    def __init__(
+        self,
+        memory_size: int = 1024,
+        disk_root: Optional[Union[str, Path]] = None,
+    ):
+        self.memory_size = memory_size
+        self.disk_root = Path(disk_root) if disk_root is not None else None
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached outcome dict for ``digest``, or ``None`` on a miss."""
+        return self.get_with_tier(digest)[0]
+
+    def get_with_tier(
+        self, digest: str
+    ) -> Tuple[Optional[Dict[str, Any]], str]:
+        """Like :meth:`get`, plus the tier that answered: ``"memory"``,
+        ``"disk"`` or ``""`` (miss)."""
+        with self._lock:
+            entry = self._memory.get(digest)
+            if entry is not None:
+                self._memory.move_to_end(digest)
+                self.stats.memory_hits += 1
+                # Deep copy: outcomes carry nested dicts (K vectors);
+                # a caller mutating its result must not poison the tier.
+                return copy.deepcopy(entry), "memory"
+        entry = self._disk_get(digest)
+        if entry is not None:
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._memory_put(digest, entry)
+            return copy.deepcopy(entry), "disk"
+        with self._lock:
+            self.stats.misses += 1
+        return None, ""
+
+    def put(self, digest: str, outcome: Dict[str, Any]) -> None:
+        """Store an outcome dict in every enabled tier."""
+        with self._lock:
+            self.stats.puts += 1
+            self._memory_put(digest, outcome)
+        self._disk_put(digest, outcome)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            if digest in self._memory:
+                return True
+        return self._disk_path(digest) is not None and \
+            self._disk_path(digest).exists()
+
+    def clear_memory(self) -> None:
+        """Drop the LRU tier (the disk tier is untouched)."""
+        with self._lock:
+            self._memory.clear()
+
+    # ------------------------------------------------------------------
+    def _memory_put(self, digest: str, outcome: Dict[str, Any]) -> None:
+        if self.memory_size <= 0:
+            return
+        self._memory[digest] = copy.deepcopy(outcome)
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.memory_size:
+            self._memory.popitem(last=False)
+
+    def _disk_path(self, digest: str) -> Optional[Path]:
+        if self.disk_root is None:
+            return None
+        return self.disk_root / digest[:2] / f"{digest}.json"
+
+    def _disk_get(self, digest: str) -> Optional[Dict[str, Any]]:
+        path = self._disk_path(digest)
+        if path is None:
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+
+    def _disk_put(self, digest: str, outcome: Dict[str, Any]) -> None:
+        path = self._disk_path(digest)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(outcome, sort_keys=True, indent=1)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{digest[:8]}-", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def disk_entries(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Iterate ``(digest, outcome)`` over the persistent tier."""
+        if self.disk_root is None or not self.disk_root.exists():
+            return
+        for path in sorted(self.disk_root.glob("*/*.json")):
+            try:
+                yield path.stem, json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                continue
+
+    def disk_size_bytes(self) -> int:
+        if self.disk_root is None or not self.disk_root.exists():
+            return 0
+        return sum(
+            p.stat().st_size for p in self.disk_root.glob("*/*.json")
+        )

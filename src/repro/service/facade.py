@@ -1,0 +1,346 @@
+"""The throughput-analysis service facade.
+
+:class:`ThroughputService` is the one front door of the serving layer:
+it turns graphs into content-addressed jobs, answers repeats from the
+two-tier result cache, deduplicates identical jobs inside a batch, fans
+cache misses out over a :class:`~repro.service.pool.SolverPool` (or
+solves inline when ``workers=0``), and applies the engine fallback
+policy (``hybrid`` → ``ratio-iteration`` by default) via the worker
+entry point.
+
+Typical use::
+
+    with ThroughputService(workers=4,
+                           cache=ResultCache(disk_root="results/cache")
+                           ) as service:
+        outcomes = service.submit_many(graphs)
+        print(service.stats().as_dict())
+
+``submit_async`` returns a ``concurrent.futures.Future``; wrap it with
+``asyncio.wrap_future`` to await it from an event loop — the service
+itself never blocks on anything but its own pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Union
+
+from repro.kperiodic.kiter import solve_kiter_payload
+from repro.model.graph import CsdfGraph
+from repro.service.cache import ResultCache
+from repro.service.job import JobOutcome, ThroughputJob
+from repro.service.pool import SolverPool
+
+GraphLike = Union[CsdfGraph, Mapping[str, Any], ThroughputJob]
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters of one service lifetime."""
+
+    jobs: int = 0
+    solves: int = 0
+    batch_dedup: int = 0
+    by_status: Dict[str, int] = field(default_factory=dict)
+    wall_time: float = 0.0
+    cache: Dict[str, int] = field(default_factory=dict)
+    pool: Optional[Dict[str, int]] = None
+
+    @property
+    def cache_hits(self) -> int:
+        return (
+            self.cache.get("memory_hits", 0) + self.cache.get("disk_hits", 0)
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "solves": self.solves,
+            "batch_dedup": self.batch_dedup,
+            "cache_hits": self.cache_hits,
+            "by_status": dict(self.by_status),
+            "wall_time": self.wall_time,
+            "cache": dict(self.cache),
+            "pool": dict(self.pool) if self.pool else None,
+        }
+
+
+class ThroughputService:
+    """Batched, cached, multi-process λ* queries over the engine registry.
+
+    Parameters
+    ----------
+    engine / fallback_engines:
+        Primary MCRP engine and the chain tried on a certification
+        failure (:class:`~repro.exceptions.SolverError`) of the one
+        before it.
+    update_policy / warm_start / max_rounds / time_budget:
+        K-Iter parameters applied to every job unless overridden per
+        call (see :func:`repro.kperiodic.kiter.throughput_kiter`).
+    workers:
+        ``0`` solves inline in this process (no pool, no pickling —
+        right for tests and single queries); ``n ≥ 1`` creates a
+        :class:`SolverPool` lazily on first use.
+    pool:
+        A pre-built pool to use instead (``workers`` is then ignored);
+        the caller keeps ownership unless the service is closed.
+    cache:
+        A :class:`ResultCache`; default is a memory-only LRU. Pass
+        ``ResultCache(disk_root=...)`` for the persistent tier, or
+        ``ResultCache(memory_size=0)`` to disable caching.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: str = "hybrid",
+        fallback_engines: Iterable[str] = ("ratio-iteration",),
+        update_policy: str = "lcm",
+        warm_start: bool = True,
+        max_rounds: int = 100_000,
+        time_budget: Optional[float] = None,
+        workers: int = 0,
+        pool: Optional[SolverPool] = None,
+        mp_context: Union[str, Any, None] = None,
+        chunk_size: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        self.engine = engine
+        self.fallback_engines = tuple(fallback_engines)
+        self.update_policy = update_policy
+        self.warm_start = warm_start
+        self.max_rounds = max_rounds
+        self.time_budget = time_budget
+        self.cache = cache if cache is not None else ResultCache()
+        self._pool = pool
+        self._owns_pool = pool is None
+        self._workers = workers
+        self._mp_context = mp_context
+        self._chunk_size = chunk_size
+        self._job_timeout = job_timeout
+        self._lock = threading.Lock()
+        self._stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Job construction
+    # ------------------------------------------------------------------
+    def job_for(self, graph: GraphLike, **overrides: Any) -> ThroughputJob:
+        """A :class:`ThroughputJob` with the service defaults applied."""
+        if isinstance(graph, ThroughputJob):
+            return graph
+        options = {
+            "engine": self.engine,
+            "fallback_engines": self.fallback_engines,
+            "update_policy": self.update_policy,
+            "warm_start": self.warm_start,
+            "max_rounds": self.max_rounds,
+            "time_budget": self.time_budget,
+        }
+        options.update(overrides)
+        return ThroughputJob.from_graph(graph, **options)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def submit(self, graph: GraphLike, **overrides: Any) -> JobOutcome:
+        """Solve one graph synchronously (cache → pool/inline)."""
+        return self.submit_many([self.job_for(graph, **overrides)])[0]
+
+    def submit_many(self, graphs: Iterable[GraphLike]) -> List[JobOutcome]:
+        """Solve a batch, preserving order.
+
+        Cache hits and in-batch duplicates never reach the pool; misses
+        are deduplicated by digest, solved (chunked, multi-process when
+        a pool is configured), cached when deterministic, and fanned
+        back out to every requesting position.
+        """
+        started = time.perf_counter()
+        jobs = [self.job_for(g) for g in graphs]
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        unique: "OrderedDict[str, ThroughputJob]" = OrderedDict()
+        followers: Dict[str, List[int]] = {}
+
+        for index, job in enumerate(jobs):
+            cached, tier = self.cache.get_with_tier(job.digest)
+            if cached is not None:
+                outcome = JobOutcome.from_json_dict(cached)
+                outcome.cache_hit = tier
+                outcome.label = job.label or outcome.label
+                outcomes[index] = outcome
+                continue
+            if job.digest in unique:
+                followers.setdefault(job.digest, []).append(index)
+                continue
+            unique[job.digest] = job
+            followers[job.digest] = [index]
+
+        miss_jobs = list(unique.values())
+        results = self._solve_payloads([j.payload() for j in miss_jobs])
+        for job, result in zip(miss_jobs, results):
+            outcome = JobOutcome.from_solve(job, result)
+            if outcome.cacheable:
+                stored = outcome.to_json_dict()
+                stored["cache_hit"] = ""
+                self.cache.put(job.digest, stored)
+            owners = followers[job.digest]
+            outcomes[owners[0]] = outcome
+            for extra in owners[1:]:
+                duplicate = JobOutcome.from_json_dict(outcome.to_json_dict())
+                duplicate.cache_hit = "batch"
+                duplicate.label = jobs[extra].label or duplicate.label
+                outcomes[extra] = duplicate
+
+        final = [o for o in outcomes if o is not None]
+        if len(final) != len(jobs):  # pragma: no cover - invariant
+            raise RuntimeError("service lost track of a job outcome")
+        self._record(final, len(miss_jobs), time.perf_counter() - started)
+        return final
+
+    def map(
+        self,
+        graphs: Iterable[GraphLike],
+        *,
+        batch_size: int = 64,
+    ) -> Iterator[JobOutcome]:
+        """Stream outcomes for an arbitrarily long graph iterable.
+
+        Graphs are pulled and solved ``batch_size`` at a time, so memory
+        stays bounded and the pool pipeline stays full.
+        """
+        batch: List[GraphLike] = []
+        for graph in graphs:
+            batch.append(graph)
+            if len(batch) >= batch_size:
+                yield from self.submit_many(batch)
+                batch = []
+        if batch:
+            yield from self.submit_many(batch)
+
+    def submit_async(
+        self, graph: GraphLike, **overrides: Any
+    ) -> "Future[JobOutcome]":
+        """Non-blocking single solve; the future resolves to an outcome.
+
+        Cache hits (and inline mode) resolve immediately; with a pool
+        the job rides a single-payload chunk and the returned future is
+        chained off the pool's. ``asyncio.wrap_future`` makes it
+        awaitable.
+        """
+        job = self.job_for(graph, **overrides)
+        cached, tier = self.cache.get_with_tier(job.digest)
+        done: "Future[JobOutcome]" = Future()
+        if cached is not None:
+            outcome = JobOutcome.from_json_dict(cached)
+            outcome.cache_hit = tier
+            outcome.label = job.label or outcome.label
+            self._record([outcome], 0, 0.0)
+            done.set_result(outcome)
+            return done
+        pool = self._ensure_pool()
+        if pool is None:
+            outcome = self._finish_async(job, solve_kiter_payload(job.payload()))
+            done.set_result(outcome)
+            return done
+        chunk_future = pool.submit_chunk([job.payload()])
+
+        def _chain(fut: "Future[List[Dict[str, Any]]]") -> None:
+            try:
+                result = fut.result()[0]
+            except Exception as exc:
+                result = {"status": "ERROR", "error": repr(exc)}
+            done.set_result(self._finish_async(job, result))
+
+        chunk_future.add_done_callback(_chain)
+        return done
+
+    def _finish_async(
+        self, job: ThroughputJob, result: Mapping[str, Any]
+    ) -> JobOutcome:
+        outcome = JobOutcome.from_solve(job, result)
+        if outcome.cacheable:
+            stored = outcome.to_json_dict()
+            stored["cache_hit"] = ""
+            self.cache.put(job.digest, stored)
+        self._record([outcome], 1, outcome.wall_time)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> Optional[SolverPool]:
+        with self._lock:
+            if self._pool is None and self._workers > 0:
+                self._pool = SolverPool(
+                    self._workers,
+                    mp_context=self._mp_context,
+                    chunk_size=self._chunk_size,
+                    job_timeout=self._job_timeout,
+                )
+            return self._pool
+
+    def _solve_payloads(
+        self, payloads: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        if not payloads:
+            return []
+        pool = self._ensure_pool()
+        if pool is not None:
+            return pool.solve(payloads)
+        return [solve_kiter_payload(p) for p in payloads]
+
+    def _record(
+        self, outcomes: List[JobOutcome], solves: int, wall: float
+    ) -> None:
+        with self._lock:
+            self._stats.jobs += len(outcomes)
+            self._stats.solves += solves
+            self._stats.batch_dedup += sum(
+                1 for o in outcomes if o.cache_hit == "batch"
+            )
+            self._stats.wall_time += wall
+            for outcome in outcomes:
+                self._stats.by_status[outcome.status] = (
+                    self._stats.by_status.get(outcome.status, 0) + 1
+                )
+
+    def stats(self) -> ServiceStats:
+        """A snapshot of the service, cache and pool counters."""
+        with self._lock:
+            snapshot = ServiceStats(
+                jobs=self._stats.jobs,
+                solves=self._stats.solves,
+                batch_dedup=self._stats.batch_dedup,
+                by_status=dict(self._stats.by_status),
+                wall_time=self._stats.wall_time,
+                cache=self.cache.stats.as_dict(),
+                pool=(
+                    self._pool.stats.as_dict()
+                    if self._pool is not None else None
+                ),
+            )
+        return snapshot
+
+    def cancel(self) -> None:
+        """Cancel the in-flight batch, if a pool is running one."""
+        with self._lock:
+            pool = self._pool
+        if pool is not None:
+            pool.cancel()
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None and self._owns_pool:
+            pool.shutdown()
+
+    def __enter__(self) -> "ThroughputService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

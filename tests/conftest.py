@@ -49,6 +49,25 @@ def deadlocked_cycle() -> CsdfGraph:
     )
 
 
+def golden_corpus_cases():
+    """``(filename, exact period)`` rows of ``tests/data/golden_index.json``.
+
+    Returns ``[]`` when the corpus is absent (sparse checkout) so
+    callers can parametrize/skip cleanly; the schema lives in one place
+    instead of per-module copies.
+    """
+    import json
+    from fractions import Fraction
+    from pathlib import Path
+
+    data = Path(__file__).parent / "data"
+    try:
+        index = json.loads((data / "golden_index.json").read_text())
+    except FileNotFoundError:
+        return []
+    return [(entry["file"], Fraction(*entry["period"])) for entry in index]
+
+
 def make_random_live_graph(seed: int, tasks: int = 5, csdf_phases: int = 2):
     """Small random live CSDFG for cross-engine integration tests.
 

@@ -132,3 +132,75 @@ class TestBenchCommand:
         assert main(["bench", "table1", "--count", "1",
                      "--budget", "5"]) == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestBatch:
+    @pytest.fixture
+    def manifest(self, tmp_path):
+        from repro.model import sdf
+
+        for name, tokens in (("a.json", 1), ("b.json", 2)):
+            save_graph(
+                sdf({"A": 1, "B": 1},
+                    [("A", "B", 1, 1, 0), ("B", "A", 1, 1, tokens)],
+                    name=name),
+                tmp_path / name,
+            )
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps([
+            {"file": "a.json", "period": [2, 1]},
+            {"file": "b.json", "period": [1, 1]},
+            "a.json",
+        ]))
+        return path
+
+    def test_batch_check_and_cache(self, manifest, tmp_path, capsys):
+        out = tmp_path / "out.jsonl"
+        cache = tmp_path / "cache"
+        assert main(["batch", str(manifest), "-o", str(out),
+                     "--check", "--cache-dir", str(cache)]) == 0
+        text = capsys.readouterr().out
+        assert "3 job(s), 3 OK" in text
+        assert "check: 2/2 exact period match(es)" in text
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [r["period"] for r in records] == [[2, 1], [1, 1], [2, 1]]
+        # third entry is the same graph again: deduplicated in-batch
+        assert records[2]["cache_hit"] == "batch"
+
+        # second run is answered from the disk tier
+        assert main(["batch", str(manifest), "-o", str(out),
+                     "--check", "--cache-dir", str(cache)]) == 0
+        text = capsys.readouterr().out
+        assert "2 disk hit(s)" in text
+        assert "0 solve(s)" in text
+
+    def test_batch_detects_mismatch(self, manifest, tmp_path, capsys):
+        bad = tmp_path / "bad_manifest.json"
+        bad.write_text(json.dumps([{"file": "a.json", "period": [7, 1]}]))
+        out = tmp_path / "out.jsonl"
+        assert main(["batch", str(bad), "-o", str(out), "--check"]) == 1
+        assert "MISMATCH" in capsys.readouterr().err
+
+    def test_batch_with_workers(self, manifest, tmp_path, capsys):
+        out = tmp_path / "out.jsonl"
+        assert main(["batch", str(manifest), "-o", str(out),
+                     "--workers", "2", "--check"]) == 0
+        assert "pool: 2 worker(s)" in capsys.readouterr().out
+
+    def test_serve_stats(self, manifest, tmp_path, capsys):
+        out = tmp_path / "out.jsonl"
+        cache = tmp_path / "cache"
+        main(["batch", str(manifest), "-o", str(out),
+              "--cache-dir", str(cache)])
+        capsys.readouterr()
+        assert main(["serve-stats", "--cache-dir", str(cache)]) == 0
+        text = capsys.readouterr().out
+        assert "entries: 2" in text
+        assert "OK=2" in text
+
+    def test_bad_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "nope.json"
+        bad.write_text("{}")
+        assert main(["batch", str(bad), "-o",
+                     str(tmp_path / "o.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err

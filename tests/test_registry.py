@@ -271,3 +271,49 @@ def test_compiled_numpy_mirrors_when_available():
     assert cb.ensure_numpy()  # topology/float mirrors still build
     assert cb.np_cost is None  # integer fast path soundly disabled
     assert max_cycle_ratio(big).ratio == Fraction((1 << 70) + 1, 2)
+
+
+def test_plugin_engine_module_via_env_var(tmp_path, monkeypatch):
+    """The REPRO_ENGINE_MODULES plugin channel registers at first lookup."""
+    import sys
+
+    from repro.mcrp import registry
+
+    plugin = tmp_path / "plugin_engine_mod.py"
+    plugin.write_text(
+        "from repro.mcrp.ratio_iteration import max_cycle_ratio\n"
+        "from repro.mcrp.registry import register_engine\n"
+        "\n"
+        "@register_engine('plugin-engine', supports_lower_bound=True,\n"
+        "                 summary='test plugin')\n"
+        "def solve(graph, *, lower_bound=None):\n"
+        "    return max_cycle_ratio(graph, lower_bound=lower_bound)\n"
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    monkeypatch.setenv(registry.PLUGIN_ENV_VAR, "plugin_engine_mod")
+    monkeypatch.setattr(registry, "_PLUGINS_LOADED", False)
+    try:
+        assert "plugin-engine" in engine_names()
+        g = make_random_live_graph(11)
+        assert (
+            throughput_kiter(g, engine="plugin-engine").period
+            == throughput_kiter(g, engine="ratio-iteration").period
+        )
+    finally:
+        registry._REGISTRY.pop("plugin-engine", None)
+        sys.modules.pop("plugin_engine_mod", None)
+
+
+def test_broken_plugin_module_raises_clearly(monkeypatch):
+    from repro.mcrp import registry
+
+    monkeypatch.setenv(registry.PLUGIN_ENV_VAR, "definitely_no_such_module")
+    monkeypatch.setattr(registry, "_PLUGINS_LOADED", False)
+    try:
+        with pytest.raises(SolverError, match="definitely_no_such_module"):
+            engine_names()
+    finally:
+        # a failed load must not latch: the next lookup (clean env) works
+        monkeypatch.setenv(registry.PLUGIN_ENV_VAR, "")
+        monkeypatch.setattr(registry, "_PLUGINS_LOADED", False)
+        assert "hybrid" in engine_names()
