@@ -376,6 +376,8 @@ def cmd_engines(args) -> int:
             flags.append("warm-start")
         if info.quadratic:
             flags.append("quadratic")
+        if info.vectorized:
+            flags.append("vectorized")
         print(f"  {info.name:<16} [{', '.join(flags)}]")
         if info.summary:
             print(f"  {'':<16} {info.summary}")

@@ -43,6 +43,40 @@ class KPeriodicSchedule:
     task_periods: Dict[str, Fraction]
     starts: Dict[Tuple[str, int, int], Fraction]
 
+    @classmethod
+    def from_potentials(
+        cls,
+        graph: CsdfGraph,
+        K: Mapping[str, int],
+        repetition: Mapping[str, int],
+        node_index: Mapping[Tuple[str, int], int],
+        omega: Fraction,
+        dist: List[Fraction],
+    ) -> "KPeriodicSchedule":
+        """Assemble a schedule from longest-path potentials at ``λ*``.
+
+        ``dist`` maps constraint-graph nodes to exact start times (the
+        output of :func:`repro.kperiodic.solver.longest_path_potentials`)
+        and ``node_index`` maps ``(task, expanded phase)`` labels to
+        those nodes; the expanded phase ``β·φ + p`` of task ``t`` becomes
+        execution ``β`` of phase ``p``. This is pure bookkeeping — every
+        arithmetic decision was made by the potentials pass.
+        """
+        task_periods: Dict[str, Fraction] = {}
+        starts: Dict[Tuple[str, int, int], Fraction] = {}
+        for t in graph.tasks():
+            name = t.name
+            k_t = K[name]
+            task_periods[name] = omega * k_t / repetition[name]
+            phi = t.phase_count
+            for expanded_phase in range(1, k_t * phi + 1):
+                beta, p = divmod(expanded_phase - 1, phi)
+                node = node_index[(name, expanded_phase)]
+                starts[(name, p + 1, beta + 1)] = dist[node]
+        return cls(
+            K=dict(K), omega=omega, task_periods=task_periods, starts=starts
+        )
+
     def start_time(self, task: str, phase: int, n: int) -> Fraction:
         """Start of ``⟨t_p, n⟩`` for any ``n ≥ 1``."""
         if n < 1:

@@ -202,46 +202,122 @@ def _extract_schedule(
     so the longest-path fixpoint from an all-zero source exists; it is the
     earliest K-periodic schedule for that period.
     """
-    dist = _longest_path_potentials(bi_graph, omega_expanded)
-
-    omega = omega_expanded / lcm_k
-    task_periods: Dict[str, Fraction] = {}
-    starts: Dict[Tuple[str, int, int], Fraction] = {}
-    for t in graph.tasks():
-        name = t.name
-        k_t = K[name]
-        task_periods[name] = omega * k_t / repetition[name]
-        phi = t.phase_count
-        for expanded_phase in range(1, k_t * phi + 1):
-            beta, p = divmod(expanded_phase - 1, phi)
-            node = node_index[(name, expanded_phase)]
-            starts[(name, p + 1, beta + 1)] = dist[node]
-    return KPeriodicSchedule(
-        K=dict(K), omega=omega, task_periods=task_periods, starts=starts
+    dist = longest_path_potentials(bi_graph, omega_expanded)
+    return KPeriodicSchedule.from_potentials(
+        graph, K, repetition, node_index, omega_expanded / lcm_k, dist
     )
 
 
-def _longest_path_potentials(
+#: Below this node count the numpy Jacobi sweeps cost more in array
+#: set-up than the pure-Python relaxation they replace.
+_MIN_VECTOR_NODES = 64
+#: Jacobi sweep budget: each sweep settles one more level of path
+#: depth, so wide/shallow constraint graphs converge in a handful of
+#: sweeps while serialized chains are depth ~n — past the budget the
+#: queue-based relaxation finishes from the partially converged state
+#: instead of paying Θ(depth) reduceat calls.
+_MAX_JACOBI_SWEEPS = 32
+
+
+def longest_path_potentials(
     bi_graph: BiValuedGraph,
     omega_expanded: Fraction,
 ) -> List[Fraction]:
-    """Bellman–Ford longest paths from an implicit zero source (exact).
+    """Exact longest paths from an implicit zero source at ``λ = a/b``.
 
-    Runs over the compiled arc arrays in pure integers: with
-    ``λ* = a/b`` and the compiled scale ``D``, the weight of arc ``i``
-    is ``(b·L'_i − a·H'_i) / (b·D)`` — the common positive denominator
-    is factored out of the relaxation and restored once at the end, so
-    the hot loop never constructs a ``Fraction``.
+    The scheduling pass after λ* certification: with the compiled scale
+    ``D``, the weight of arc ``i`` is ``(b·L'_i − a·H'_i) / (b·D)`` —
+    the common positive denominator is factored out of the relaxation
+    and restored once at the end, so no ``Fraction`` is ever constructed
+    in a hot loop. The integer relaxation itself is numpy-vectorized
+    (one ``maximum.reduceat`` Jacobi sweep per path length) whenever
+    the weights provably fit int64; the queue-based pure-Python
+    relaxation is the fallback and the reference.
+
+    Raises :class:`SolverError` when a positive cycle survives at the
+    given λ — i.e. the caller passed an uncertified (too small) ratio.
+    """
+    compiled = bi_graph.compile()
+    a, b = omega_expanded.numerator, omega_expanded.denominator
+    dist, converged = _potentials_numpy(compiled, a, b)
+    if not converged:
+        weights = compiled.parametric_weights(a, b)
+        dist = _potentials_python(compiled, weights, seed=dist)
+    denom = b * compiled.scale
+    return [Fraction(d, denom) for d in dist]
+
+
+def _potentials_numpy(
+    compiled, lam_num: int, lam_den: int
+) -> Tuple[Optional[List[int]], bool]:
+    """Jacobi longest-path sweeps over the compiled numpy arrays.
+
+    The parametric weights ``b·L' − a·H'`` are formed vectorized from
+    the compiled int64 mirrors (never as a Python list). ``dist`` after
+    sweep ``k`` dominates every ≤k-arc walk value, so with no positive
+    cycle the fixpoint is reached within ``n`` sweeps (longest simple
+    path has ``n − 1`` arcs) and one extra quiet sweep proves it.
+    Returns ``(dist, True)`` on convergence. ``(None, False)`` means
+    the vectorized pass never engaged (no numpy, too small, or the
+    walk sums could overflow int64); ``(partial, False)`` means the
+    sweep budget ran out first — either way the caller finishes with
+    the queue-based relaxation, seeding it with the partial distances
+    when there are any (every entry is a real walk value, hence a
+    valid intermediate relaxation state).
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy present in CI
+        return None, False
+    n = compiled.node_count
+    if (
+        n < _MIN_VECTOR_NODES
+        or not compiled.arc_count
+        or not (-(1 << 62) < lam_num < (1 << 62) and lam_den < (1 << 62))
+        or not compiled.ensure_numpy()
+        or compiled.np_cost is None
+    ):
+        return None, False
+    bound = compiled.parametric_weight_bound(lam_num, lam_den)
+    if bound >= (1 << 62) // (n + 2):  # keep every walk sum inside int64
+        return None, False
+    w = lam_den * compiled.np_cost - lam_num * compiled.np_transit
+    w_s = w[compiled.dst_order]
+    src_s = compiled.src_sorted
+    dst_unique = compiled.dst_unique
+    seg_starts = compiled.seg_starts
+    dist = np.zeros(n, dtype=np.int64)
+    budget = min(n + 1, _MAX_JACOBI_SWEEPS)
+    for _sweep in range(budget):
+        seg_best = np.maximum.reduceat(dist[src_s] + w_s, seg_starts)
+        improved = seg_best > dist[dst_unique]
+        if not improved.any():
+            return dist.tolist(), True
+        touched = dst_unique[improved]
+        dist[touched] = seg_best[improved]
+    if budget > n:
+        raise SolverError("positive cycle at certified λ*: engine bug")
+    return dist.tolist(), False
+
+
+def _potentials_python(
+    compiled,
+    weights: List[int],
+    seed: Optional[List[int]] = None,
+) -> List[int]:
+    """Queue-based Bellman–Ford longest paths (exact reference).
+
+    ``seed`` (optional) is an intermediate relaxation state — every
+    entry a genuine walk value from the zero source, component-wise at
+    most the fixpoint — from which the relaxation resumes; the least
+    fixpoint reached is the same either way.
     """
     from collections import deque
 
-    compiled = bi_graph.compile()
     n = compiled.node_count
-    a, b = omega_expanded.numerator, omega_expanded.denominator
-    weights = compiled.parametric_weights(a, b)
     out_arcs = compiled.out_arcs
     arc_dst = compiled.dst
-    dist: List[int] = [0] * n
+    dist: List[int] = [0] * n if seed is None else list(seed)
     in_queue = [True] * n
     relaxations = [0] * n
     queue = deque(range(n))
@@ -255,12 +331,11 @@ def _longest_path_potentials(
             if candidate > dist[v]:
                 dist[v] = candidate
                 relaxations[v] += 1
-                if relaxations[v] > n + 1:  # pragma: no cover - certified λ*
+                if relaxations[v] > n + 1:
                     raise SolverError(
                         "positive cycle at certified λ*: engine bug"
                     )
                 if not in_queue[v]:
                     in_queue[v] = True
                     queue.append(v)
-    denom = b * compiled.scale
-    return [Fraction(d, denom) for d in dist]
+    return dist

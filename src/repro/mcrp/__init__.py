@@ -27,9 +27,11 @@ Engines (registry names)
 * ``howard`` — Howard policy iteration in floats with a full exact
   certification phase.
 * ``lawler`` — Lawler binary search (independent cross-check).
-* ``karp`` — ascending iteration on a Karp-table oracle; the cycle-mean
-  core also serves the HSDF expansion baseline
+* ``karp`` — ascending iteration on a numpy-vectorized Karp-table
+  oracle; the cycle-mean core also serves the HSDF expansion baseline
   (:func:`max_cycle_mean`).
+* ``karp-python`` — the same iteration pinned to the pure-Python Karp
+  table (the vectorization ablation baseline).
 * ``bellman`` — ascending iteration pinned to the pure-Python
   Bellman-Ford oracle (reference baseline).
 """
@@ -46,7 +48,11 @@ from repro.mcrp.registry import (
 )
 from repro.mcrp.ratio_iteration import max_cycle_ratio
 from repro.mcrp.bellman import max_cycle_ratio_bellman
-from repro.mcrp.karp import max_cycle_mean, max_cycle_ratio_karp
+from repro.mcrp.karp import (
+    max_cycle_mean,
+    max_cycle_ratio_karp,
+    max_cycle_ratio_karp_python,
+)
 from repro.mcrp.howard import max_cycle_ratio_howard
 from repro.mcrp.hybrid import max_cycle_ratio_hybrid
 from repro.mcrp.lawler import max_cycle_ratio_lawler
@@ -67,6 +73,7 @@ __all__ = [
     "max_cycle_ratio_howard",
     "max_cycle_ratio_hybrid",
     "max_cycle_ratio_karp",
+    "max_cycle_ratio_karp_python",
     "max_cycle_ratio_lawler",
     "max_cycle_ratio_sccs",
     "register_engine",

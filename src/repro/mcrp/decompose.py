@@ -24,7 +24,7 @@ always solved fully.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import DeadlockError
 from repro.mcrp.bellman import ScaledGraph, find_positive_cycle
@@ -125,20 +125,31 @@ def _subgraph(
 def max_cycle_ratio_sccs(
     graph: BiValuedGraph,
     *,
-    engine: Callable[..., CycleResult] = max_cycle_ratio,
+    engine: Union[Callable[..., CycleResult], "EngineInfo"] = max_cycle_ratio,
     lower_bound: Optional[Fraction] = None,
-    seed_lower_bound: bool = True,
+    seed_lower_bound: Optional[bool] = None,
 ) -> CycleResult:
     """λ* by per-SCC solving with champion pruning.
 
     Same contract as :func:`repro.mcrp.max_cycle_ratio`; node/arc ids of
-    the returned circuit refer to the *input* graph. ``lower_bound``
-    (certified) seeds the champion used for probe pruning — which is
-    sound for every engine — and, when ``seed_lower_bound`` is true
-    (the engine accepts a ``lower_bound=`` keyword, see the registry's
-    ``supports_lower_bound`` capability), also warm-starts each
-    component's engine call.
+    the returned circuit refer to the *input* graph. ``engine`` may be a
+    bare solve callable or a registry :class:`EngineInfo` — with an
+    info, the per-component dispatch reads the engine's capabilities
+    directly (today: whether to warm-start it with the champion).
+    ``lower_bound`` (certified) seeds the champion used for probe
+    pruning — which is sound for every engine — and, when
+    ``seed_lower_bound`` resolves true (explicitly, from the info's
+    ``supports_lower_bound`` capability, or by default for bare
+    callables), also warm-starts each component's engine call.
     """
+    from repro.mcrp.registry import EngineInfo
+
+    if isinstance(engine, EngineInfo):
+        if seed_lower_bound is None:
+            seed_lower_bound = engine.supports_lower_bound
+        engine = engine.solve
+    elif seed_lower_bound is None:
+        seed_lower_bound = True
     components = [
         c for c in strongly_connected_node_sets(graph)
         if len(c) > 1 or _has_self_arc(graph, c[0])

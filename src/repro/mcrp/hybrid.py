@@ -55,6 +55,7 @@ _MIN_PREFILTER_NODES = 64
     "hybrid",
     float_prefilter=True,
     supports_lower_bound=True,
+    vectorized=True,
     summary="vectorized float Howard prefilter + single-probe exact "
             "certification (compiled-core fast path)",
 )

@@ -40,7 +40,9 @@ Oracle = Callable[[ScaledGraph, int, int], Optional[List[int]]]
 @register_engine(
     "ratio-iteration",
     supports_lower_bound=True,
-    summary="ascending exact cycle-ratio iteration (default engine)",
+    vectorized=True,
+    summary="ascending exact cycle-ratio iteration (default engine; "
+            "numpy Jacobi oracle when the int64 fast path applies)",
 )
 def max_cycle_ratio(
     graph: BiValuedGraph,

@@ -22,6 +22,11 @@ engine:
 ``quadratic``
     The engine's oracle is Θ(nm) per probe (Karp) — benchmark drivers
     keep such engines off the largest instances.
+``vectorized``
+    The engine's hot path runs over the compiled core's numpy arrays
+    when they are available (``hybrid``, ``karp``, ``ratio-iteration``);
+    engines without the flag are pinned to pure-Python loops and serve
+    as ablation baselines (``bellman``, ``karp-python``).
 
 Adding an engine
 ----------------
@@ -60,7 +65,17 @@ from repro.mcrp.graph import BiValuedGraph, CycleResult
 
 @dataclass(frozen=True)
 class EngineInfo:
-    """Registry entry: the solve callable plus capability metadata."""
+    """Registry entry: the solve callable plus capability metadata.
+
+    Examples
+    --------
+    >>> from repro.mcrp.registry import get_engine
+    >>> info = get_engine("karp")
+    >>> info.name, info.exact, info.quadratic, info.vectorized
+    ('karp', True, True, True)
+    >>> get_engine("karp-python").vectorized
+    False
+    """
 
     name: str
     solve: Callable[..., CycleResult]
@@ -69,6 +84,7 @@ class EngineInfo:
     supports_scc: bool = True
     supports_lower_bound: bool = False
     quadratic: bool = False
+    vectorized: bool = False
     summary: str = ""
 
 
@@ -89,6 +105,7 @@ def register_engine(
     supports_scc: bool = True,
     supports_lower_bound: bool = False,
     quadratic: bool = False,
+    vectorized: bool = False,
     summary: str = "",
 ):
     """Class-of-service decorator registering an MCRP engine by name."""
@@ -104,6 +121,7 @@ def register_engine(
             supports_scc=supports_scc,
             supports_lower_bound=supports_lower_bound,
             quadratic=quadratic,
+            vectorized=vectorized,
             summary=summary,
         )
         return fn
@@ -173,7 +191,16 @@ def _load_plugin_engines() -> None:
 
 
 def engine_names() -> List[str]:
-    """Sorted names of every registered engine."""
+    """Sorted names of every registered engine.
+
+    Examples
+    --------
+    >>> from repro.mcrp.registry import engine_names
+    >>> [n for n in engine_names() if n.startswith("karp")]
+    ['karp', 'karp-python']
+    >>> "hybrid" in engine_names()
+    True
+    """
     _ensure_builtins()
     return sorted(_REGISTRY)
 
@@ -208,16 +235,26 @@ def solve_mcrp(
     it; ``lower_bound`` (a certified lower bound on ``λ*``) always seeds
     the pruning champion, and additionally warm-starts the engine when
     it accepts bounds.
+
+    Examples
+    --------
+    >>> from fractions import Fraction
+    >>> from repro.mcrp.graph import BiValuedGraph
+    >>> from repro.mcrp.registry import solve_mcrp
+    >>> g = BiValuedGraph(2)
+    >>> _ = g.add_arc(0, 1, 3, 1)
+    >>> _ = g.add_arc(1, 0, 1, 1)     # cycle ratio (3+1)/(1+1) = 2
+    >>> solve_mcrp(g, "karp").ratio
+    Fraction(2, 1)
+    >>> solve_mcrp(g, "hybrid").ratio == solve_mcrp(g, "bellman").ratio
+    True
     """
     info = get_engine(engine) if isinstance(engine, str) else engine
     if decompose and info.supports_scc:
         from repro.mcrp.decompose import max_cycle_ratio_sccs
 
         return max_cycle_ratio_sccs(
-            graph,
-            engine=info.solve,
-            lower_bound=lower_bound,
-            seed_lower_bound=info.supports_lower_bound,
+            graph, engine=info, lower_bound=lower_bound
         )
     if info.supports_lower_bound and lower_bound is not None:
         return info.solve(graph, lower_bound=lower_bound)

@@ -8,13 +8,23 @@ solves inline when ``workers=0``), and applies the engine fallback
 policy (``hybrid`` → ``ratio-iteration`` by default) via the worker
 entry point.
 
-Typical use::
+Typical use (inline mode — pass ``workers=4`` and
+``cache=ResultCache(disk_root="results/cache")`` for the multi-process,
+persistent-cache configuration):
 
-    with ThroughputService(workers=4,
-                           cache=ResultCache(disk_root="results/cache")
-                           ) as service:
-        outcomes = service.submit_many(graphs)
-        print(service.stats().as_dict())
+    >>> from repro.model.builder import sdf
+    >>> from repro.service import ThroughputService
+    >>> g = sdf({"A": 1, "B": 1},
+    ...         [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 1)])
+    >>> with ThroughputService() as service:
+    ...     outcome = service.submit(g)
+    ...     repeat = service.submit(g)
+    >>> outcome.status, outcome.period, outcome.engine_used
+    ('OK', Fraction(2, 1), 'hybrid')
+    >>> repeat.cache_hit            # second ask never re-solves
+    'memory'
+    >>> service.stats().solves
+    1
 
 ``submit_async`` returns a ``concurrent.futures.Future``; wrap it with
 ``asyncio.wrap_future`` to await it from an event loop — the service
