@@ -39,6 +39,15 @@ from repro.model.buffer import Buffer
 from repro.model.graph import CsdfGraph
 from repro.utils.rational import ceil_to_multiple, floor_to_multiple
 
+#: Row-block budget of the vectorized O(ϕ·ϕ') useful-pair sweeps, in
+#: int64 matrix cells: each candidate block materializes at most
+#: ``PAIR_SWEEP_BLOCK_CELLS`` cells per intermediate (8 Mi cells ≈ 64 MiB
+#: for the ``q``/``min-rate``/``β`` matrices each), bounding peak memory
+#: on K-expanded buffers whose full candidate matrix would not fit.
+#: Shared with the direct (G, K) expansion sweep in
+#: :func:`expanded_useful_pair_arrays`.
+PAIR_SWEEP_BLOCK_CELLS = 8 * 1024 * 1024
+
 
 @dataclass(frozen=True)
 class PrecedenceConstraint:
@@ -155,14 +164,30 @@ def useful_pair_arrays(buffer: Buffer):
 
     production = _np.asarray(buffer.production, dtype=_np.int64)
     consumption = _np.asarray(buffer.consumption, dtype=_np.int64)
-    g = buffer.rate_gcd
-    m0 = buffer.initial_tokens
-    prod_prefix = _np.cumsum(production)
-    cons_prefix = _np.cumsum(consumption)
-    base = production - prod_prefix - m0  # in(p) − Σ_{α≤p} in(α) − M0
+    return _pair_sweep(
+        production,
+        consumption,
+        _np.cumsum(production),
+        _np.cumsum(consumption),
+        buffer.initial_tokens,
+        buffer.rate_gcd,
+    )
 
+
+def _pair_sweep(production, consumption, prod_prefix, cons_prefix, m0, g):
+    """Row-blocked Theorem 2 α ≤ β sweep over prepared rate arrays.
+
+    The shared core of :func:`useful_pair_arrays` (base or materialized
+    expanded buffers) and :func:`expanded_useful_pair_arrays` (tiled
+    arrays synthesized from the base buffer): results are row-major in
+    the producer phase regardless of the block size, which is what the
+    parity contract between the two pipelines relies on.
+    """
+    base = production - prod_prefix - m0  # in(p) − Σ_{α≤p} in(α) − M0
     phi_p = production.shape[0]
-    block = max(1, min(phi_p, 8 * 1024 * 1024 // max(1, cons_prefix.shape[0])))
+    block = max(
+        1, min(phi_p, PAIR_SWEEP_BLOCK_CELLS // max(1, cons_prefix.shape[0]))
+    )
     out_p: List = []
     out_pp: List = []
     out_beta: List = []
@@ -180,6 +205,68 @@ def useful_pair_arrays(buffer: Buffer):
         _np.concatenate(out_p) if out_p else _np.empty(0, dtype=_np.int64),
         _np.concatenate(out_pp) if out_pp else _np.empty(0, dtype=_np.int64),
         _np.concatenate(out_beta) if out_beta else _np.empty(0, dtype=_np.int64),
+    )
+
+
+def expanded_useful_pair_arrays(buffer: Buffer, k_src: int, k_dst: int):
+    """``Y(b̃)`` of the K-expanded buffer, straight from the base buffer.
+
+    Returns the same ``(p0, pp0, beta)`` arrays
+    :func:`useful_pair_arrays` would return on the materialized
+    expansion (production duplicated ``k_src`` times, consumption
+    ``k_dst`` times — §3.2's ``[v]^P`` operator), without building the
+    expanded :class:`~repro.model.buffer.Buffer`. The trick is that the
+    expanded prefix sums are **affine in the tile index**:
+
+        ``prefix̃[j·ϕ + p] = j·total + prefix[p]``
+
+    so one ``np.tile`` + broadcast add reproduces them from the base
+    cumsum, and the expanded rounding gcd is
+    ``gcd(k_src·i_b, k_dst·o_b)`` arithmetically. A unit test pins the
+    equivalence pairwise against the materialized path.
+
+    Requires numpy (the direct pipeline is gated on it); raises
+    :class:`RuntimeError` otherwise.
+    """
+    if _np is None:  # pragma: no cover - numpy is present in CI
+        raise RuntimeError("expanded_useful_pair_arrays requires numpy")
+    from math import gcd
+
+    production = _np.asarray(buffer.production, dtype=_np.int64)
+    consumption = _np.asarray(buffer.consumption, dtype=_np.int64)
+    if (
+        k_src == k_dst
+        and production.shape == consumption.shape
+        and not (production != 1).any()
+        and not (consumption != 1).any()
+    ):
+        # All-ones loop (every serialization self-loop): closed form.
+        # With unit rates the expanded gcd is ñ = k·ϕ and the α ≤ β
+        # interval is the single point q − 1 = P' − P − M0, so each
+        # producer phase P has exactly one useful pair — the phase the
+        # M0-th-next token enables: P' = (P + M0) mod ñ, with
+        # β = P' − P − M0 (the unique multiple of ñ in the window).
+        # Replaces the Θ(ñ²) sweep by Θ(ñ); pinned against the generic
+        # sweep by the unit tests.
+        n = k_src * production.shape[0]
+        p = _np.arange(n, dtype=_np.int64)
+        pp = (p + buffer.initial_tokens) % n
+        return p, pp, pp - p - buffer.initial_tokens
+    i_b = buffer.total_production
+    o_b = buffer.total_consumption
+    prod_prefix = _np.tile(_np.cumsum(production), k_src) + i_b * _np.repeat(
+        _np.arange(k_src, dtype=_np.int64), production.shape[0]
+    )
+    cons_prefix = _np.tile(_np.cumsum(consumption), k_dst) + o_b * _np.repeat(
+        _np.arange(k_dst, dtype=_np.int64), consumption.shape[0]
+    )
+    return _pair_sweep(
+        _np.tile(production, k_src),
+        _np.tile(consumption, k_dst),
+        prod_prefix,
+        cons_prefix,
+        buffer.initial_tokens,
+        gcd(k_src * i_b, k_dst * o_b),
     )
 
 

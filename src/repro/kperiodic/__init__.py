@@ -11,7 +11,13 @@
 * :mod:`repro.kperiodic.schedule` — concrete K-periodic schedules.
 """
 
-from repro.kperiodic.expansion import expand_graph, expanded_repetition_vector
+from repro.kperiodic.expansion import (
+    ExpansionBlockCache,
+    compile_expansion,
+    expand_graph,
+    expanded_repetition_vector,
+    expansion_cache_for,
+)
 from repro.kperiodic.kiter import (
     KIterResult,
     solve_kiter_payload,
@@ -22,8 +28,11 @@ from repro.kperiodic.schedule import KPeriodicSchedule
 from repro.kperiodic.solver import KPeriodicResult, min_period_for_k
 
 __all__ = [
+    "ExpansionBlockCache",
+    "compile_expansion",
     "expand_graph",
     "expanded_repetition_vector",
+    "expansion_cache_for",
     "KIterResult",
     "solve_kiter_payload",
     "throughput_kiter",

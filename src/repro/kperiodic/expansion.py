@@ -1,4 +1,4 @@
-"""The K-expansion ``G → G̃`` (paper §3.2).
+"""The K-expansion ``G → G̃`` (paper §3.2) and its direct compilation.
 
 For a periodicity vector ``K``, every task ``t`` of ``G̃`` has
 ``ϕ̃(t) = K_t·ϕ(t)`` phases obtained by duplicating its duration vector
@@ -6,17 +6,52 @@ For a periodicity vector ``K``, every task ``t`` of ``G̃`` has
 vector ``K_t`` (resp. ``K_{t'}``) times; markings are unchanged. A
 1-periodic schedule of ``G̃`` *is* a K-periodic schedule of ``G``, with
 periods related by ``Ω_G = Ω_G̃ / lcm(K)`` (Theorem 3).
+
+:func:`expand_graph` materializes ``G̃`` as a real
+:class:`~repro.model.graph.CsdfGraph` — the reference path.
+:func:`compile_expansion` skips it entirely: Theorem 2's useful pairs of
+every expanded buffer are computed with numpy straight from the *base*
+buffer plus ``(K_src, K_dst)`` (the expanded prefix sums are affine in
+the tile index — see
+:func:`repro.analysis.precedence.expanded_useful_pair_arrays`), emitted
+as int64 ``(src, dst, cost, β)`` arc blocks with one shared per-buffer
+denominator ``q̃_t·ĩ_b``, and assembled arithmetically into a
+:class:`~repro.mcrp.compiled.CompiledGraph` — zero per-arc ``Fraction``
+allocation; Fractions materialize lazily through the
+:class:`~repro.mcrp.graph.FrozenBiValuedGraph` views only for
+certification and back-mapping. Blocks are cached per ``(buffer name,
+K_src, K_dst)`` (:class:`ExpansionBlockCache`), so a K-Iter round whose
+escalation leaves a task's K unchanged reuses that task's blocks, and
+service-pool workers reuse them across jobs sharing a graph.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+import weakref
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
+try:  # the direct pipeline is numpy-only; the legacy path is the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+from repro.analysis.constraint_graph import merge_parallel_candidates
+from repro.analysis.precedence import expanded_useful_pair_arrays
 from repro.exceptions import ModelError
+from repro.mcrp.compiled import CompiledGraph
+from repro.mcrp.graph import FrozenBiValuedGraph
 from repro.model.buffer import Buffer
 from repro.model.graph import CsdfGraph
 from repro.model.task import Task
 from repro.utils.rational import lcm_list
+
+#: int64 head-room guard shared by every overflow gate of the direct
+#: pipeline: whenever an intermediate product could reach this bound the
+#: pipeline reports "unavailable" and the caller falls back to the
+#: arbitrary-precision legacy path.
+_DIRECT_INT64_GUARD = 1 << 62
 
 
 def _duplicate(vector: tuple, times: int) -> tuple:
@@ -88,3 +123,344 @@ def expanded_repetition_vector(
             raise ModelError(f"q̃ not integral for task {t!r}")
         q_tilde[t] = scaled // k_t
     return q_tilde
+
+
+# ----------------------------------------------------------------------
+# Direct (G, K) → CompiledGraph pipeline
+# ----------------------------------------------------------------------
+class ArcBlock:
+    """One buffer's K-expanded constraint arcs, in buffer-local phases.
+
+    ``src_phase``/``dst_phase`` are 0-based phases of the *expanded*
+    producer/consumer (``P ∈ 0..K_src·ϕ−1``), ``cost`` the producer
+    phase durations ``d(t_P)`` and ``beta`` Theorem 2's β — all int64,
+    frozen read-only so cache sharing across rounds/jobs is safe. The
+    per-buffer denominator ``q̃_t·ĩ_b`` is *not* part of the block: it
+    depends on ``lcm(K)`` and is recomputed at assembly each round,
+    which is exactly what makes the block reusable whenever
+    ``(K_src, K_dst)`` did not change.
+    """
+
+    __slots__ = ("src_phase", "dst_phase", "cost", "beta")
+
+    def __init__(self, src_phase, dst_phase, cost, beta):
+        for arr in (src_phase, dst_phase, cost, beta):
+            arr.setflags(write=False)
+        self.src_phase = src_phase
+        self.dst_phase = dst_phase
+        self.cost = cost
+        self.beta = beta
+
+    @property
+    def arc_count(self) -> int:
+        return int(self.src_phase.shape[0])
+
+    @property
+    def cells(self) -> int:
+        """int64 cells held (the cache's size accounting unit)."""
+        return 4 * self.arc_count
+
+
+class ExpansionBlockCache:
+    """LRU cache of :class:`ArcBlock`\\ s keyed ``(buffer, K_src, K_dst)``.
+
+    The reuse contract: an entry is valid for every future round/job on
+    the **same** :class:`~repro.model.graph.CsdfGraph` object (buffers
+    are immutable and graphs append-only, so a buffer name pins its
+    content) as long as the producer's and consumer's K entries match
+    the key — everything else (``lcm(K)``, the other tasks' K, node
+    offsets, denominators) is applied at assembly time. Under K-Iter's
+    lcm update policy K only ever grows along critical circuits, so a
+    round typically re-derives blocks for the few escalated tasks and
+    hits the cache for the rest.
+
+    Bounded by total int64 cells (LRU eviction), not entry count, since
+    block sizes vary by orders of magnitude across K.
+    """
+
+    def __init__(self, max_cells: int = 16_000_000):
+        self.max_cells = max_cells
+        self._blocks: "OrderedDict[Tuple[str, int, int], ArcBlock]" = (
+            OrderedDict()
+        )
+        self._cells = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, name: str, k_src: int, k_dst: int) -> Optional[ArcBlock]:
+        block = self._blocks.get((name, k_src, k_dst))
+        if block is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end((name, k_src, k_dst))
+        self.hits += 1
+        return block
+
+    def put(self, name: str, k_src: int, k_dst: int, block: ArcBlock) -> None:
+        key = (name, k_src, k_dst)
+        old = self._blocks.pop(key, None)
+        if old is not None:  # pragma: no cover - put-after-get misses this
+            self._cells -= old.cells
+        self._blocks[key] = block
+        self._cells += block.cells
+        while self._cells > self.max_cells and len(self._blocks) > 1:
+            _, evicted = self._blocks.popitem(last=False)
+            self._cells -= evicted.cells
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._blocks.clear()
+        self._cells = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "blocks": len(self._blocks),
+            "cells": self._cells,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: Per-graph block caches: keyed by the graph *object* (weakly — a
+#: collected graph drops its blocks), so K-Iter rounds on one graph and
+#: service-pool jobs reusing a worker's parsed graph share one cache.
+_GRAPH_CACHES: "weakref.WeakKeyDictionary[CsdfGraph, ExpansionBlockCache]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def expansion_cache_for(graph: CsdfGraph) -> ExpansionBlockCache:
+    """The block cache bound to ``graph`` (created on first use)."""
+    cache = _GRAPH_CACHES.get(graph)
+    if cache is None:
+        cache = ExpansionBlockCache()
+        _GRAPH_CACHES[graph] = cache
+    return cache
+
+
+class _ExpandedLabels(Sequence):
+    """Lazy ``(task, expanded phase)`` labels of an expanded node space.
+
+    Semantically the list the legacy builder materializes, computed on
+    access instead (labels are only read for critical circuits and
+    deadlock certificates — a handful of nodes out of ``Σ K_t·ϕ(t)``).
+    """
+
+    __slots__ = ("_space",)
+
+    def __init__(self, space: "ExpandedNodeSpace"):
+        self._space = space
+
+    def __len__(self) -> int:
+        return self._space.node_count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._space.label(i) for i in range(len(self))[index]]
+        if index < 0:
+            index += len(self)
+        return self._space.label(index)
+
+    def __iter__(self):
+        for name, start, count in self._space.spans():
+            for p in range(1, count + 1):
+                yield (name, p)
+
+
+class ExpandedNodeSpace:
+    """Node layout of the K-expanded constraint graph (task-major).
+
+    Task ``t`` owns the contiguous node range
+    ``[offset(t), offset(t) + K_t·ϕ(t))`` in task insertion order — the
+    exact layout the legacy ``build_constraint_graph`` produces — and
+    node ``offset(t) + P`` is the first execution ``⟨t_{P+1}, 1⟩`` of
+    expanded phase ``P+1``.
+    """
+
+    __slots__ = ("_names", "_starts", "_offsets", "node_count")
+
+    def __init__(self, phase_counts: Sequence[Tuple[str, int]]):
+        self._names: List[str] = []
+        self._starts: List[int] = []
+        self._offsets: Dict[str, int] = {}
+        total = 0
+        for name, count in phase_counts:
+            self._names.append(name)
+            self._starts.append(total)
+            self._offsets[name] = total
+            total += count
+        self.node_count = total
+
+    def offset(self, task: str) -> int:
+        return self._offsets[task]
+
+    def spans(self):
+        """Yield ``(task, start, phase count)`` per task in layout order."""
+        for i, name in enumerate(self._names):
+            start = self._starts[i]
+            end = (
+                self._starts[i + 1]
+                if i + 1 < len(self._starts)
+                else self.node_count
+            )
+            yield name, start, end - start
+
+    def label(self, node: int) -> Tuple[str, int]:
+        if not 0 <= node < self.node_count:
+            raise IndexError(node)
+        i = bisect_right(self._starts, node) - 1
+        return (self._names[i], node - self._starts[i] + 1)
+
+    @property
+    def labels(self) -> Sequence[Hashable]:
+        return _ExpandedLabels(self)
+
+    def node_index(self) -> Dict[Tuple[str, int], int]:
+        """The dense ``(task, expanded phase) → node id`` dict.
+
+        Materialized on demand (schedule extraction needs the full map;
+        nothing else does).
+        """
+        return {
+            (name, p): start + p - 1
+            for name, start, count in self.spans()
+            for p in range(1, count + 1)
+        }
+
+
+def compile_expansion(
+    graph: CsdfGraph,
+    K: Mapping[str, int],
+    repetition: Mapping[str, int],
+    *,
+    cache: Optional[ExpansionBlockCache] = None,
+    serialize: bool = True,
+    merge_parallel: bool = True,
+) -> Optional[Tuple[FrozenBiValuedGraph, ExpandedNodeSpace]]:
+    """Compile the constraint graph of ``G̃`` directly from ``(G, K)``.
+
+    Produces the same graph as ``build_constraint_graph(expand_graph(G,
+    K), repetition)`` — identical compiled ``scale``/``cost``/``transit``
+    arrays, pinned by the parity suite — without materializing ``G̃`` or
+    any per-arc ``Fraction``:
+
+    1. per buffer, the expanded useful pairs come from the affine-tile
+       sweep (cached in ``cache`` under ``(buffer, K_src, K_dst)``);
+    2. blocks are offset into the task-major node space and concatenated
+       as int64 ``(src, dst, cost, β)`` arrays with one shared
+       denominator ``q̃_t·ĩ_b`` per buffer;
+    3. parallel arcs merge through the shared vectorized lexsort pass;
+    4. the global scale is the lcm of the per-arc *reduced* denominators
+       ``den/gcd(β, den)`` (what ``Fraction`` normalization would have
+       produced), and the scaled integer arrays feed
+       :meth:`~repro.mcrp.compiled.CompiledGraph.from_int64_arrays`.
+
+    ``repetition`` must be the expanded repetition vector ``q̃`` (see
+    :func:`expanded_repetition_vector`) — the same one the legacy path
+    receives.
+
+    Returns ``None`` when the pipeline is unavailable — no numpy, or an
+    int64 overflow gate tripped — in which case the caller runs the
+    legacy expand+build path, which is exact at any magnitude.
+    """
+    if _np is None:
+        return None
+    K = validate_periodicity(graph, K)
+    work = graph.with_serialization_loops() if serialize else graph
+
+    space = ExpandedNodeSpace(
+        [(t.name, K[t.name] * t.phase_count) for t in work.tasks()]
+    )
+
+    pair_count: Dict[Tuple[str, str], int] = {}
+    for b in work.buffers():
+        key = (b.source, b.target)
+        pair_count[key] = pair_count.get(key, 0) + 1
+    shared_pairs = any(count > 1 for count in pair_count.values())
+
+    parts_src: List = []
+    parts_dst: List = []
+    parts_cost: List = []
+    parts_beta: List = []
+    parts_den: List = []
+    for b in work.buffers():
+        k_src = K[b.source]
+        k_dst = K[b.target]
+        den = repetition[b.source] * k_src * b.total_production
+        if den >= _DIRECT_INT64_GUARD:
+            return None
+        block = cache.get(b.name, k_src, k_dst) if cache is not None else None
+        if block is None:
+            p, pp, beta = expanded_useful_pair_arrays(b, k_src, k_dst)
+            durations = _np.tile(
+                _np.asarray(work.task(b.source).durations, dtype=_np.int64),
+                k_src,
+            )
+            block = ArcBlock(p, pp, durations[p], beta)
+            if cache is not None:
+                cache.put(b.name, k_src, k_dst, block)
+        parts_src.append(block.src_phase + space.offset(b.source))
+        parts_dst.append(block.dst_phase + space.offset(b.target))
+        parts_cost.append(block.cost)
+        parts_beta.append(block.beta)
+        parts_den.append(
+            _np.full(block.arc_count, den, dtype=_np.int64)
+        )
+
+    if parts_src:
+        srcs = _np.concatenate(parts_src)
+        dsts = _np.concatenate(parts_dst)
+        costs = _np.concatenate(parts_cost)
+        betas = _np.concatenate(parts_beta)
+        denoms = _np.concatenate(parts_den)
+    else:
+        srcs = dsts = costs = betas = _np.empty(0, dtype=_np.int64)
+        denoms = _np.empty(0, dtype=_np.int64)
+
+    if merge_parallel and shared_pairs and srcs.shape[0]:
+        merged = merge_parallel_candidates(
+            srcs, dsts, costs, betas, denoms, space.node_count
+        )
+        if merged is None:
+            return None
+        srcs, dsts, costs, betas, denoms = merged
+
+    # Global scale = lcm of the reduced per-arc denominators — exactly
+    # the lcm of Fraction(−β, den).denominator the legacy compile
+    # derives, computed without constructing a single Fraction.
+    if srcs.shape[0]:
+        g = _np.gcd(betas, denoms)  # gcd(|β|, den); β=0 ⇒ den ⇒ reduced 1
+        reduced_den = denoms // g
+        scale = lcm_list(int(d) for d in _np.unique(reduced_den))
+        if scale >= _DIRECT_INT64_GUARD:
+            return None
+        beta_red = betas // g  # exact: g divides β
+        factor = scale // reduced_den
+        max_transit = int(_np.abs(beta_red).max()) * int(factor.max())
+        max_cost = int(costs.max()) * scale
+        if (
+            max_transit >= _DIRECT_INT64_GUARD
+            or max_cost >= _DIRECT_INT64_GUARD
+        ):
+            return None
+        transit_scaled = -(beta_red * factor)
+        cost_scaled = costs * scale
+    else:
+        scale = 1
+        transit_scaled = cost_scaled = _np.empty(0, dtype=_np.int64)
+
+    compiled = CompiledGraph.from_int64_arrays(
+        node_count=space.node_count,
+        labels=space.labels,
+        src=srcs,
+        dst=dsts,
+        scale=scale,
+        cost=cost_scaled,
+        transit=transit_scaled,
+    )
+    return FrozenBiValuedGraph(compiled), space

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Mapping, Optional, Set
 
 from repro.analysis.consistency import repetition_vector
 from repro.exceptions import BudgetExceededError, DeadlockError, ReproError, SolverError
+from repro.kperiodic.expansion import expansion_cache_for
 from repro.kperiodic.optimality import (
     critical_qbar,
     optimality_test,
@@ -91,6 +92,7 @@ def throughput_kiter(
     initial_k: Optional[Dict[str, int]] = None,
     update_policy: str = "lcm",
     warm_start: bool = True,
+    pipeline: str = "direct",
 ) -> KIterResult:
     """Exact maximum throughput of a consistent CSDFG via K-Iter.
 
@@ -133,6 +135,14 @@ def throughput_kiter(
         the seed below the new ``λ*``; a hypothetical overshoot would
         cost extra probes, never exactness (see
         :func:`repro.kperiodic.solver.min_period_for_k`).
+    pipeline:
+        Constraint-graph pipeline per round, passed through to
+        :func:`~repro.kperiodic.solver.min_period_for_k`: ``"direct"``
+        (default) compiles straight from ``(G, K)`` and reuses the
+        graph's per-buffer block cache across rounds — a round whose
+        escalation leaves a task's K unchanged recomputes nothing for
+        that task — while ``"legacy"`` rebuilds the materialized
+        expansion every round (the reference path).
 
     Examples
     --------
@@ -145,6 +155,10 @@ def throughput_kiter(
     q = repetition_vector(graph)
     K: Dict[str, int] = dict(initial_k) if initial_k else {t: 1 for t in q}
     budget = TimeBudget(time_budget, label="K-Iter")
+    # The per-graph block cache makes round i+1 recompute only the
+    # buffers whose endpoint K escalated; it is bound to the graph
+    # object, so pool workers reusing a parsed graph share it too.
+    cache = expansion_cache_for(graph) if pipeline == "direct" else None
     rounds: List[KIterRound] = []
     infeasible_rounds = 0
     prev_lambda: Optional[Fraction] = None
@@ -172,7 +186,7 @@ def throughput_kiter(
         try:
             result: KPeriodicResult = min_period_for_k(
                 graph, K, engine=engine, build_schedule=False, repetition=q,
-                warm_start=seed,
+                warm_start=seed, pipeline=pipeline, expansion_cache=cache,
             )
         except DeadlockError as exc:
             # The escalation jumps K along the infeasible circuit; the
@@ -205,7 +219,7 @@ def throughput_kiter(
                            result.engine_iterations)
             )
             return _finalize(graph, q, K, result, rounds, build_schedule,
-                             engine)
+                             engine, pipeline, cache)
         passed, qbar = optimality_test(q, K, result.critical_tasks)
         rounds.append(
             KIterRound(
@@ -220,7 +234,7 @@ def throughput_kiter(
         )
         if passed:
             return _finalize(graph, q, K, result, rounds, build_schedule,
-                             engine)
+                             engine, pipeline, cache)
         prev_lambda = result.omega_expanded
         prev_lcm = lcm_k
         if update_policy == "lcm":
@@ -285,11 +299,16 @@ def _finalize(
     rounds: List[KIterRound],
     build_schedule: bool,
     engine: str,
+    pipeline: str = "direct",
+    cache=None,
 ) -> KIterResult:
     schedule = None
     if build_schedule and result.omega > 0:
+        # The final round's blocks are all cache hits: the schedule
+        # rebuild pays only assembly and the longest-path pass.
         final = min_period_for_k(
-            graph, K, engine=engine, build_schedule=True, repetition=q
+            graph, K, engine=engine, build_schedule=True, repetition=q,
+            pipeline=pipeline, expansion_cache=cache,
         )
         schedule = final.schedule
     return KIterResult(
@@ -317,7 +336,12 @@ def solve_kiter_payload(
     ``fallback_engines`` (tried in order on a
     :class:`~repro.exceptions.SolverError`, i.e. a certification
     failure of the primary engine), ``update_policy``, ``initial_k``,
-    ``max_rounds``, ``time_budget``, ``warm_start``.
+    ``max_rounds``, ``time_budget``, ``warm_start``, ``pipeline``
+    (``"direct"``/``"legacy"`` constraint-graph pipeline). With the
+    default direct pipeline, a worker's injected ``graph`` carries its
+    expansion block cache across jobs (see
+    :func:`repro.kperiodic.expansion.expansion_cache_for`), so repeated
+    jobs on one graph skip the useful-pair sweeps entirely.
 
     The outcome dict always carries ``status`` (``"OK"``,
     ``"DEADLOCK"``, ``"TIMEOUT"`` or ``"ERROR"``), ``engine_used``,
@@ -334,13 +358,20 @@ def solve_kiter_payload(
     engines.extend(payload.get("fallback_engines", ()))
     started = time.perf_counter()
     update_policy = payload.get("update_policy", "lcm")
+    pipeline = payload.get("pipeline", "direct")
+    config_error = None
     if update_policy not in ("lcm", "full-q"):
+        config_error = (f"unknown update_policy {update_policy!r} "
+                        "(choose 'lcm' or 'full-q')")
+    elif pipeline not in ("direct", "legacy"):
+        config_error = (f"unknown pipeline {pipeline!r} "
+                        "(choose 'direct' or 'legacy')")
+    if config_error is not None:
         # Engine-independent config error: fail once, attributed to the
         # caller, instead of re-running the doomed solve per fallback.
         return {
             "status": "ERROR",
-            "error": f"unknown update_policy {update_policy!r} "
-                     "(choose 'lcm' or 'full-q')",
+            "error": config_error,
             "engine_used": "", "fallback": False,
             "wall_time": 0.0, "worker_pid": os.getpid(),
         }
@@ -364,6 +395,7 @@ def solve_kiter_payload(
                 initial_k=payload.get("initial_k"),
                 update_policy=update_policy,
                 warm_start=payload.get("warm_start", True),
+                pipeline=pipeline,
             )
         except SolverError as exc:
             # Certification failure: fall through to the next engine.

@@ -18,6 +18,8 @@ from repro.analysis.consistency import repetition_vector
 from repro.analysis.constraint_graph import build_constraint_graph
 from repro.exceptions import DeadlockError, SolverError
 from repro.kperiodic.expansion import (
+    ExpansionBlockCache,
+    compile_expansion,
     expand_graph,
     expanded_repetition_vector,
     validate_periodicity,
@@ -76,6 +78,8 @@ def min_period_for_k(
     build_schedule: bool = True,
     repetition: Optional[Dict[str, int]] = None,
     warm_start: Optional[Fraction] = None,
+    pipeline: str = "direct",
+    expansion_cache: Optional[ExpansionBlockCache] = None,
 ) -> KPeriodicResult:
     """Exact minimum period of a K-periodic schedule of ``graph``.
 
@@ -105,27 +109,55 @@ def min_period_for_k(
         start) and the search restarts, and the SCC champion used for
         pruning is replaced by the first component's certified ratio
         before any probe relies on it.
+    pipeline:
+        ``"direct"`` (default) compiles the constraint graph of ``G̃``
+        straight from ``(G, K)`` with zero per-arc ``Fraction``
+        allocation (:func:`repro.kperiodic.expansion.compile_expansion`)
+        and falls back automatically when that pipeline is unavailable
+        (no numpy, int64 overflow gates); ``"legacy"`` always
+        materializes ``G̃`` and builds the graph through
+        :func:`~repro.analysis.constraint_graph.build_constraint_graph`
+        — the reference oracle the parity suite pins the direct path
+        against. Both produce identical compiled arrays and λ*.
+    expansion_cache:
+        Optional :class:`~repro.kperiodic.expansion.ExpansionBlockCache`
+        for the direct pipeline — K-Iter passes the graph's cache so
+        rounds recompute only the blocks whose tasks escalated.
 
     Raises
     ------
     SolverError
-        If ``engine`` names no registered engine.
+        If ``engine`` names no registered engine, or ``pipeline`` is
+        neither ``"direct"`` nor ``"legacy"``.
     DeadlockError
         If no feasible period exists (the graph deadlocks).
     InconsistentGraphError
         If the graph has no repetition vector.
     """
+    if pipeline not in ("direct", "legacy"):
+        raise SolverError(
+            f"unknown pipeline {pipeline!r} (choose 'direct' or 'legacy')"
+        )
     info = get_engine(engine)
     K = validate_periodicity(graph, K)
     if repetition is None:
         repetition = repetition_vector(graph)
     lcm_k = lcm_list(K.values())
 
-    expanded = expand_graph(graph, K)
     q_tilde = expanded_repetition_vector(repetition, K)
-    bi_graph, node_index = build_constraint_graph(
-        expanded, q_tilde, serialize=True
-    )
+    node_index: Optional[Dict[Tuple[str, int], int]] = None
+    space = None
+    if pipeline == "direct":
+        built = compile_expansion(
+            graph, K, q_tilde, cache=expansion_cache
+        )
+        if built is not None:
+            bi_graph, space = built
+    if space is None:
+        expanded = expand_graph(graph, K)
+        bi_graph, node_index = build_constraint_graph(
+            expanded, q_tilde, serialize=True
+        )
     # Warm start: the serialization self-loop of task t is a real cycle of
     # the constraint graph with exact ratio lcm(K)·q_t·Σ_p d(t_p), so the
     # max over tasks is a certified lower bound on λ* (huge head start —
@@ -181,6 +213,10 @@ def min_period_for_k(
         engine_iterations=result.iterations,
     )
     if build_schedule and omega > 0:
+        if node_index is None:
+            # Direct pipeline: the dense (task, phase) → node map is
+            # only materialized when a schedule actually needs it.
+            node_index = space.node_index()
         out.schedule = _extract_schedule(
             graph, K, repetition, bi_graph, node_index, omega_expanded, lcm_k
         )

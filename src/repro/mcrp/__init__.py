@@ -36,7 +36,12 @@ Engines (registry names)
   Bellman-Ford oracle (reference baseline).
 """
 
-from repro.mcrp.graph import BiValuedGraph, CycleResult
+from repro.mcrp.graph import (
+    BiValuedGraph,
+    CycleResult,
+    FrozenBiValuedGraph,
+    ScaledFractionView,
+)
 from repro.mcrp.compiled import CompiledGraph, compile_graph
 from repro.mcrp.registry import (
     EngineInfo,
@@ -63,6 +68,8 @@ __all__ = [
     "CompiledGraph",
     "CycleResult",
     "EngineInfo",
+    "FrozenBiValuedGraph",
+    "ScaledFractionView",
     "all_engines",
     "compile_graph",
     "engine_names",

@@ -214,6 +214,84 @@ class CompiledGraph:
             f"scale={self.scale}, integral={self.integral})"
         )
 
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_int64_arrays(
+        cls,
+        node_count: int,
+        labels: Sequence[Hashable],
+        src,
+        dst,
+        scale: int,
+        cost,
+        transit,
+    ) -> "CompiledGraph":
+        """Assemble a compiled graph directly from int64 numpy arc arrays.
+
+        The arithmetic constructor of the direct K-expansion pipeline
+        (and the SCC subgraph slicer): ``cost``/``transit`` are already
+        the integer-scaled values for the given ``scale``, so no
+        ``Fraction`` is ever created and the per-arc Python loop of
+        ``__init__`` is replaced by vectorized CSR construction (stable
+        argsort by source — per-node arc order is ascending arc index,
+        exactly what incremental ``add_arc`` would have produced).
+
+        ``labels`` may be any sequence (including a lazy view); it is
+        stored as given, not copied.
+        """
+        if _np is None:  # pragma: no cover - callers gate on numpy
+            raise RuntimeError("from_int64_arrays requires numpy")
+        src = _np.ascontiguousarray(src, dtype=_np.int64)
+        dst = _np.ascontiguousarray(dst, dtype=_np.int64)
+        cost = _np.ascontiguousarray(cost, dtype=_np.int64)
+        transit = _np.ascontiguousarray(transit, dtype=_np.int64)
+        m = int(src.shape[0])
+
+        self = cls.__new__(cls)
+        self.node_count = node_count
+        self.arc_count = m
+        self.labels = labels
+        self.src = src.tolist()
+        self.dst = dst.tolist()
+        self.scale = scale
+        self.cost = cost.tolist()
+        self.transit = transit.tolist()
+        self.integral = scale == 1
+        self.has_negative_cost = bool(m) and bool((cost < 0).any())
+        self.max_abs_cost = int(_np.abs(cost).max()) if m else 0
+        self.max_abs_transit = int(_np.abs(transit).max()) if m else 0
+        inv = 1.0 / scale
+        self.cost_float = (cost * inv).tolist()
+        self.transit_float = (transit * inv).tolist()
+
+        order = _np.argsort(src, kind="stable")
+        counts = _np.bincount(src, minlength=node_count) if m else (
+            _np.zeros(node_count, dtype=_np.int64)
+        )
+        indptr_np = _np.zeros(node_count + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=indptr_np[1:])
+        indptr = array("q")
+        indptr.frombytes(indptr_np.astype(_np.int64).tobytes())
+        csr = array("q")
+        csr.frombytes(order.astype(_np.int64).tobytes())
+        self.indptr = indptr
+        self.csr_arcs = csr
+        order_list = order.tolist()
+        indptr_list = indptr_np.tolist()
+        self.out_arcs = tuple(
+            order_list[indptr_list[v]:indptr_list[v + 1]]
+            for v in range(node_count)
+        )
+
+        self._numpy_built = False
+        self.np_src = self.np_dst = self.np_cost = self.np_transit = None
+        self.np_cost_float = self.np_transit_float = None
+        self.np_indptr = self.np_csr_arcs = None
+        self.src_unique = self.src_seg_starts = self.src_seg_sizes = None
+        self.dst_order = self.src_sorted = self.arc_ids_sorted = None
+        self.dst_unique = self.seg_starts = self.seg_sizes = None
+        return self
+
 
 def compile_graph(graph) -> CompiledGraph:
     """Freeze ``graph`` (a :class:`BiValuedGraph`) into arc arrays.

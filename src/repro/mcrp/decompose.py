@@ -26,10 +26,19 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+try:  # numpy accelerates the subgraph slicing; optional
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
 from repro.exceptions import DeadlockError
 from repro.mcrp.bellman import ScaledGraph, find_positive_cycle
-from repro.mcrp.graph import BiValuedGraph, CycleResult
+from repro.mcrp.graph import BiValuedGraph, CycleResult, FrozenBiValuedGraph
 from repro.mcrp.ratio_iteration import max_cycle_ratio
+
+#: Below this arc count the numpy subgraph slice costs more in array
+#: round-trips than the plain Python copy it replaces.
+_MIN_SLICE_ARCS = 256
 
 
 def strongly_connected_node_sets(graph: BiValuedGraph) -> List[List[int]]:
@@ -97,6 +106,9 @@ def _subgraph(
 ) -> Tuple[BiValuedGraph, List[int], List[int]]:
     """Induced subgraph + (local→global node map, local→global arc map)."""
     compiled = graph.compile()
+    sliced = _subgraph_compiled(compiled, graph, nodes)
+    if sliced is not None:
+        return sliced
     indptr = compiled.indptr
     csr_arcs = compiled.csr_arcs
     arc_dst = compiled.dst
@@ -120,6 +132,50 @@ def _subgraph(
                 arc_map.append(arc)
     sub.extend_arcs(srcs, dsts, costs, transits)
     return sub, nodes, arc_map
+
+
+def _subgraph_compiled(compiled, graph, nodes):
+    """Fraction-free subgraph slice over the compiled int64 mirrors.
+
+    Slices the parent's scaled integer arrays directly into a
+    :meth:`~repro.mcrp.compiled.CompiledGraph.from_int64_arrays`-built
+    compiled form wrapped in a
+    :class:`~repro.mcrp.graph.FrozenBiValuedGraph` — no per-arc
+    ``Fraction`` round trip, which on one-big-SCC constraint graphs
+    (the typical shape: serialization loops connect every task's
+    phases) used to re-materialize nearly every arc. The parent's scale
+    is kept (possibly non-minimal for the component — cycle ratios are
+    invariant under common scaling). Arc order matches the Python
+    path: concatenated CSR out-slices in ``nodes`` order. Returns
+    ``None`` when numpy/the int64 mirrors are unavailable or the graph
+    is too small to pay for the array round-trips.
+    """
+    if (
+        _np is None
+        or compiled.arc_count < _MIN_SLICE_ARCS
+        or not compiled.ensure_numpy()
+        or compiled.np_cost is None
+    ):
+        return None
+    node_arr = _np.asarray(nodes, dtype=_np.int64)
+    local = _np.full(compiled.node_count, -1, dtype=_np.int64)
+    local[node_arr] = _np.arange(node_arr.shape[0], dtype=_np.int64)
+    indptr = compiled.np_indptr
+    csr = compiled.np_csr_arcs
+    candidates = _np.concatenate(
+        [csr[indptr[g]:indptr[g + 1]] for g in nodes]
+    ) if nodes else _np.empty(0, dtype=_np.int64)
+    arcs = candidates[local[compiled.np_dst[candidates]] >= 0]
+    sub_compiled = compiled.from_int64_arrays(
+        node_count=node_arr.shape[0],
+        labels=[graph.labels[g] for g in nodes],
+        src=local[compiled.np_src[arcs]],
+        dst=local[compiled.np_dst[arcs]],
+        scale=compiled.scale,
+        cost=compiled.np_cost[arcs],
+        transit=compiled.np_transit[arcs],
+    )
+    return FrozenBiValuedGraph(sub_compiled), list(nodes), arcs.tolist()
 
 
 def max_cycle_ratio_sccs(

@@ -144,6 +144,90 @@ class BiValuedGraph:
         return f"BiValuedGraph(nodes={self.node_count}, arcs={self.arc_count})"
 
 
+class ScaledFractionView(Sequence):
+    """Read-only ``Fraction`` view over integer-scaled values.
+
+    ``view[i] == Fraction(values[i], scale)`` — the Fraction is built on
+    access and never stored, so a :class:`FrozenBiValuedGraph` can expose
+    the exact ``arc_cost``/``arc_transit`` interface without allocating
+    one Fraction per arc up front (they materialize lazily, only for
+    certification and back-mapping).
+
+    Examples
+    --------
+    >>> v = ScaledFractionView([6, 2, 1], 2)
+    >>> v[0], v[2], len(v)
+    (Fraction(3, 1), Fraction(1, 2), 3)
+    """
+
+    __slots__ = ("_values", "_scale")
+
+    def __init__(self, values: Sequence[int], scale: int):
+        self._values = values
+        self._scale = scale
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [Fraction(v, self._scale) for v in self._values[index]]
+        return Fraction(self._values[index], self._scale)
+
+    def __iter__(self):
+        scale = self._scale
+        for v in self._values:
+            yield Fraction(v, scale)
+
+
+class FrozenBiValuedGraph(BiValuedGraph):
+    """A read-only :class:`BiValuedGraph` assembled around a compiled form.
+
+    The direct K-expansion pipeline builds the
+    :class:`~repro.mcrp.compiled.CompiledGraph` arithmetically (int64
+    arrays, no per-arc Fractions) and wraps it in this class so every
+    existing consumer — engines, SCC sweep, potentials, certification —
+    sees the ordinary ``BiValuedGraph`` interface. ``arc_cost`` and
+    ``arc_transit`` are :class:`ScaledFractionView`\\ s over the compiled
+    integers; mutation is refused (the compiled arrays are the single
+    source of truth), and :meth:`invalidate` is a no-op for the same
+    reason.
+    """
+
+    def __init__(self, compiled):
+        self.node_count = compiled.node_count
+        self.labels = compiled.labels
+        self.arc_src = compiled.src
+        self.arc_dst = compiled.dst
+        self.arc_cost = ScaledFractionView(compiled.cost, compiled.scale)
+        self.arc_transit = ScaledFractionView(
+            compiled.transit, compiled.scale
+        )
+        self._out = compiled.out_arcs
+        self._compiled = compiled
+
+    def add_node(self, label: Hashable = None) -> int:
+        raise TypeError("FrozenBiValuedGraph is immutable")
+
+    def add_arc(self, src: int, dst: int, cost, transit) -> int:
+        raise TypeError("FrozenBiValuedGraph is immutable")
+
+    def extend_arcs(self, srcs, dsts, costs, transits) -> None:
+        raise TypeError("FrozenBiValuedGraph is immutable")
+
+    def compile(self):
+        return self._compiled
+
+    def invalidate(self) -> None:
+        """No-op: the compiled arrays *are* the graph."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FrozenBiValuedGraph(nodes={self.node_count}, "
+            f"arcs={self.arc_count})"
+        )
+
+
 @dataclass
 class CycleResult:
     """Result of a max-cycle-ratio computation.

@@ -5,8 +5,14 @@
 and pickling cost of tiny jobs; each worker keeps a small LRU of
 deserialized :class:`~repro.model.graph.CsdfGraph` objects keyed by the
 job's graph digest (``_cached_graph``), so a batch probing one graph
-under several engines or K policies parses it once per worker — the
-compiled-constraint-graph cache inside the solve then does the rest.
+under several engines or K policies parses it once per worker. The
+warm-started worker state goes further than parsing: the expansion
+block cache of the direct K-expansion pipeline
+(:func:`repro.kperiodic.expansion.expansion_cache_for`) is bound to the
+graph *object*, so every job a worker solves on a cached graph reuses
+the ``(buffer, K_src, K_dst)`` arc blocks of earlier jobs — the
+useful-pair sweeps of a shared expansion run once per worker, not once
+per job.
 
 Failure containment:
 
@@ -55,6 +61,9 @@ def _cached_graph(payload: Dict[str, Any]) -> Optional[CsdfGraph]:
     graph = _GRAPH_CACHE.get(digest)
     if graph is None:
         graph = CsdfGraph.from_dict(payload["graph"])
+        # The expansion block cache is keyed by this graph *object*
+        # (repro.kperiodic.expansion.expansion_cache_for), so keeping
+        # the object in the LRU is what carries arc blocks across jobs.
         _GRAPH_CACHE[digest] = graph
         while len(_GRAPH_CACHE) > _GRAPH_CACHE_LIMIT:
             _GRAPH_CACHE.popitem(last=False)
