@@ -5,7 +5,11 @@ Commands
 ``info``        graph summary, repetition vector, liveness, period bounds
 ``throughput``  exact/approximate throughput with a chosen method
 ``batch``       run a manifest of graphs through the throughput service
-``serve-stats`` summarize the service's on-disk result cache
+                (``--coordinator URL`` routes it through a coordinator)
+``serve``       run a coordinator node (HTTP cache + job queue)
+``worker``      run a worker daemon against a coordinator or queue
+``serve-stats`` summarize the on-disk result cache, or a live
+                coordinator with ``--coordinator URL``
 ``convert``     JSON ↔ SDF3-XML ↔ DOT conversion (by file extension)
 ``gantt``       ASCII Gantt of the ASAP or optimal K-periodic schedule
 ``generate``    emit a benchmark graph (paper figures, apps, categories)
@@ -156,16 +160,35 @@ def cmd_batch(args) -> int:
     fallbacks = (
         tuple(args.fallback) if args.fallback else ("ratio-iteration",)
     )
-    service = ThroughputService(
-        engine=args.engine,
-        fallback_engines=fallbacks,
-        workers=args.workers,
-        mp_context=args.mp_context,
-        chunk_size=args.chunk_size,
-        job_timeout=args.job_timeout,
-        time_budget=args.budget,
-        cache=cache,
-    )
+    if args.coordinator and args.queue:
+        raise ReproError("pick one of --coordinator or --queue")
+    if args.coordinator or args.queue:
+        from repro.distributed import CoordinatorClient, make_job_queue
+
+        queue = (
+            CoordinatorClient(args.coordinator) if args.coordinator
+            else make_job_queue(args.queue)
+        )
+        service = ThroughputService(
+            engine=args.engine,
+            fallback_engines=fallbacks,
+            time_budget=args.budget,
+            cache=cache,
+            queue=queue,
+            queue_poll=args.poll,
+            queue_wait_timeout=args.wait_timeout,
+        )
+    else:
+        service = ThroughputService(
+            engine=args.engine,
+            fallback_engines=fallbacks,
+            workers=args.workers,
+            mp_context=args.mp_context,
+            chunk_size=args.chunk_size,
+            job_timeout=args.job_timeout,
+            time_budget=args.budget,
+            cache=cache,
+        )
     failures = 0
     mismatches = 0
     with service:
@@ -206,6 +229,18 @@ def cmd_batch(args) -> int:
               f"{stats.pool['chunks']} chunk(s), "
               f"{stats.pool['crashes']} crash(es), "
               f"{stats.pool['timeouts']} timeout(s)")
+    if args.coordinator or args.queue:
+        remote_hits = sum(
+            1 for o in outcomes if o.cache_hit == "remote"
+        )
+        print(f"coordinator: {args.coordinator or args.queue}, "
+              f"{remote_hits} remote cache hit(s)")
+        if stats.queue:
+            queue_stats = stats.queue.get("queue", stats.queue)
+            print("queue: " + ", ".join(
+                f"{state}={queue_stats.get(state, 0)}"
+                for state in ("pending", "leased", "done", "dead")
+            ))
     print(f"wall time: {stats.wall_time:.3f}s")
     if args.check:
         checked = sum(1 for _l, _p, e in rows if e is not None)
@@ -214,11 +249,152 @@ def cmd_batch(args) -> int:
     return 1 if (failures or mismatches) else 0
 
 
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.distributed import (
+        CoordinatorServer,
+        make_cache_backend,
+        make_job_queue,
+    )
+
+    if args.cache.startswith(("http://", "https://")) or \
+            args.queue.startswith(("http://", "https://")):
+        raise ReproError(
+            "a coordinator owns its own storage; give it a "
+            "memory/disk/sqlite cache and a memory/sqlite queue"
+        )
+    cache = make_cache_backend(args.cache)
+    queue = make_job_queue(
+        args.queue,
+        visibility_timeout=args.visibility_timeout,
+        max_attempts=args.max_attempts,
+    )
+    server = CoordinatorServer(
+        host=args.host, port=args.port, cache=cache, queue=queue,
+        verbose=args.verbose,
+    )
+    server.start()
+    print(f"coordinator listening on {server.url}", flush=True)
+    print(f"cache backend: {cache.name}; queue backend: {queue.name} "
+          f"(visibility {queue.visibility_timeout:g}s, "
+          f"max {queue.max_attempts} attempt(s))", flush=True)
+    stop = threading.Event()
+
+    def _shutdown(signum, frame):  # pragma: no cover - signal path
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    try:
+        stop.wait()
+    finally:
+        server.shutdown()
+        print("coordinator stopped")
+    return 0
+
+
+def cmd_worker(args) -> int:
+    import signal
+
+    from repro.distributed import (
+        CoordinatorClient,
+        Worker,
+        make_cache_backend,
+        make_job_queue,
+    )
+
+    if bool(args.coordinator) == bool(args.queue):
+        raise ReproError(
+            "pick exactly one job source: --coordinator URL or "
+            "--queue sqlite:PATH"
+        )
+    if args.coordinator:
+        queue = CoordinatorClient(args.coordinator)
+        source = args.coordinator
+    else:
+        queue = make_job_queue(
+            args.queue, visibility_timeout=args.visibility_timeout or 30.0
+        )
+        source = args.queue
+    cache = make_cache_backend(args.cache) if args.cache else None
+    worker = Worker(
+        queue,
+        cache=cache,
+        worker_id=args.id,
+        workers=args.workers,
+        mp_context=args.mp_context,
+        chunk_size=args.chunk_size,
+        poll_interval=args.poll,
+        visibility_timeout=args.visibility_timeout,
+        drain=args.drain,
+        max_chunks=args.max_chunks,
+    )
+
+    def _shutdown(signum, frame):  # pragma: no cover - signal path
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    print(f"worker {worker.worker_id} draining {source} "
+          f"(chunk {worker.chunk_size}, "
+          f"{args.workers or 'inline'} solver process(es))", flush=True)
+    stats = worker.run()
+    print(f"worker {worker.worker_id} stopped: "
+          f"{stats.jobs} job(s) in {stats.chunks} chunk(s), "
+          f"{stats.acks} acked, {stats.stale} stale, "
+          f"{stats.nacks} nacked")
+    return 0
+
+
+def _coordinator_stats(url: str) -> int:
+    from repro.distributed import CoordinatorClient
+
+    stats = CoordinatorClient(url).stats()
+    print(f"coordinator: {url}")
+    print(f"uptime: {stats.get('uptime', 0):.1f}s, "
+          f"jobs submitted: {stats.get('submitted', 0)} "
+          f"({stats.get('cache_short_circuits', 0)} cache "
+          f"short-circuit(s))")
+    cache = stats.get("cache", {})
+    lookups = cache.get("hits", 0) + cache.get("misses", 0)
+    rate = (100.0 * cache.get("hits", 0) / lookups) if lookups else 0.0
+    print(f"cache [{cache.get('backend', '?')}]: "
+          f"{cache.get('hits', 0)} hit(s), "
+          f"{cache.get('misses', 0)} miss(es) ({rate:.0f}% hit rate), "
+          f"{cache.get('puts', 0)} put(s), "
+          f"{cache.get('entries', '?')} entrie(s)")
+    queue = stats.get("queue", {})
+    print(f"queue [{queue.get('backend', '?')}]: " + ", ".join(
+        f"{state}={queue.get(state, 0)}"
+        for state in ("pending", "leased", "done", "dead")
+    ) + f", {queue.get('redeliveries', 0)} redeliverie(s)")
+    workers = stats.get("workers", {})
+    print(f"workers: {len(workers)} seen")
+    for worker_id, info in sorted(workers.items()):
+        print(f"  {worker_id}: last seen {info.get('age', 0):.1f}s ago, "
+              f"{info.get('leases', 0)} lease(s), "
+              f"{info.get('results', 0)} result(s), "
+              f"{info.get('heartbeats', 0)} heartbeat(s)")
+    dead = stats.get("dead_letters", [])
+    if dead:
+        print(f"dead letters: {len(dead)}")
+        for entry in dead:
+            print(f"  {entry['digest'][:12]}…: {entry['error']} "
+                  f"({entry['attempts']} attempt(s))")
+    else:
+        print("dead letters: none")
+    return 0
+
+
 def cmd_serve_stats(args) -> int:
     from collections import Counter
 
     from repro.service import ResultCache
 
+    if args.coordinator:
+        return _coordinator_stats(args.coordinator)
     cache = ResultCache(memory_size=0, disk_root=args.cache_dir)
     statuses: Counter = Counter()
     engines: Counter = Counter()
@@ -462,13 +638,81 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="verify exact periods against the manifest's "
                         "`period` entries (nonzero exit on mismatch)")
+    p.add_argument("--coordinator", default=None, metavar="URL",
+                   help="route the batch through a coordinator node "
+                        "(its workers solve; --workers is ignored)")
+    p.add_argument("--queue", default=None, metavar="SPEC",
+                   help="route the batch through a shared job queue "
+                        "instead (sqlite:PATH + `repro worker --queue`)")
+    p.add_argument("--poll", type=float, default=0.1,
+                   help="result poll interval in coordinator mode "
+                        "(seconds)")
+    p.add_argument("--wait-timeout", type=float, default=None,
+                   help="give up on unanswered coordinator jobs after "
+                        "this many seconds (default: wait forever)")
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
+        "serve",
+        help="run a coordinator node (HTTP job queue + result cache)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8350,
+                   help="TCP port (0 picks an ephemeral one)")
+    p.add_argument("--cache", default="memory", metavar="SPEC",
+                   help="cache backend: memory[:N], disk:DIR, "
+                        "sqlite:PATH (default memory)")
+    p.add_argument("--queue", default="memory", metavar="SPEC",
+                   help="queue backend: memory or sqlite:PATH "
+                        "(default memory)")
+    p.add_argument("--visibility-timeout", type=float, default=30.0,
+                   help="seconds a lease stays exclusive without a "
+                        "heartbeat")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="deliveries per job before dead-lettering")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a worker daemon against a coordinator or shared queue",
+    )
+    p.add_argument("--coordinator", default=None, metavar="URL",
+                   help="coordinator to lease jobs from")
+    p.add_argument("--queue", default=None, metavar="SPEC",
+                   help="lease directly from a shared queue instead "
+                        "(sqlite:PATH)")
+    p.add_argument("--cache", default=None, metavar="SPEC",
+                   help="optional local write-through cache backend "
+                        "(for --queue mode; a coordinator caches "
+                        "server-side)")
+    p.add_argument("--id", default=None,
+                   help="worker id shown in coordinator stats")
+    p.add_argument("--workers", type=int, default=0,
+                   help="solver pool processes (0 = solve inline)")
+    p.add_argument("--mp-context", default=None,
+                   choices=["fork", "spawn", "forkserver"])
+    p.add_argument("--chunk-size", type=int, default=4,
+                   help="jobs leased per round trip")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="idle sleep between empty leases (seconds)")
+    p.add_argument("--visibility-timeout", type=float, default=None,
+                   help="lease exclusivity window override (seconds)")
+    p.add_argument("--drain", action="store_true",
+                   help="exit once the queue is empty")
+    p.add_argument("--max-chunks", type=int, default=None,
+                   help="stop after this many chunks (smoke tests)")
+    p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
         "serve-stats",
-        help="summarize the service's on-disk result cache",
+        help="summarize the on-disk result cache or a live coordinator",
     )
     p.add_argument("--cache-dir", default="results/cache", metavar="DIR")
+    p.add_argument("--coordinator", default=None, metavar="URL",
+                   help="print a live coordinator's /stats instead "
+                        "(hit rates, queue depth, worker liveness)")
     p.set_defaults(func=cmd_serve_stats)
 
     p = sub.add_parser("convert", help="convert between formats")

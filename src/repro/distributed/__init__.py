@@ -1,0 +1,80 @@
+"""The distributed solve fabric.
+
+Everything the single-host serving layer (:mod:`repro.service`) does —
+content-addressed jobs, result caching, chunked solving — behind
+network-ready seams, with no dependencies beyond the stdlib:
+
+* :mod:`repro.distributed.backends` — the :class:`CacheBackend`
+  protocol (``get``/``put``/``contains``/``stats``) with memory, disk,
+  SQLite (WAL) and HTTP implementations; the serving layer's
+  :class:`~repro.service.cache.ResultCache` composes its tiers from
+  these;
+* :mod:`repro.distributed.jobqueue` — the :class:`JobQueue` protocol
+  (lease/ack/nack, visibility timeouts, bounded retries, dead-letter
+  bucket) with in-process and SQLite-persistent implementations;
+* :mod:`repro.distributed.server` — the coordinator: a
+  ``ThreadingHTTPServer`` node over one cache + one queue
+  (``repro serve``);
+* :mod:`repro.distributed.client` — :class:`CoordinatorClient`, the
+  remote :class:`JobQueue` every other piece plugs into;
+* :mod:`repro.distributed.worker` — the worker daemon
+  (``repro worker``): lease chunks, solve them through the existing
+  :func:`~repro.service.pool.solve_chunk` / :class:`SolverPool` path
+  (graph + expansion-block reuse intact), heartbeat, report.
+
+The same manifest therefore runs **local**
+(``ThroughputService(workers=…)``), **queued**
+(``ThroughputService(queue=SQLiteJobQueue(…))`` + ``repro worker``) or
+**distributed** (``repro serve`` + ``repro worker --coordinator`` +
+``repro batch --coordinator``) with `Fraction`-identical results. The
+deployment guide is ``docs/service.md``.
+"""
+
+from repro.distributed.backends import (
+    CACHE_BACKENDS,
+    CacheBackend,
+    DiskCacheBackend,
+    HTTPCacheBackend,
+    MemoryCacheBackend,
+    SQLiteCacheBackend,
+    make_cache_backend,
+    storable_outcome,
+)
+from repro.distributed.client import CoordinatorClient, CoordinatorError
+from repro.distributed.jobqueue import (
+    QUEUE_BACKENDS,
+    JobQueue,
+    LeasedJob,
+    MemoryJobQueue,
+    SQLiteJobQueue,
+    SubmitReceipt,
+    dead_letter_outcome,
+    make_job_queue,
+)
+from repro.distributed.server import Coordinator, CoordinatorServer
+from repro.distributed.worker import Worker, WorkerStats
+
+__all__ = [
+    "CACHE_BACKENDS",
+    "QUEUE_BACKENDS",
+    "CacheBackend",
+    "Coordinator",
+    "CoordinatorClient",
+    "CoordinatorError",
+    "CoordinatorServer",
+    "DiskCacheBackend",
+    "HTTPCacheBackend",
+    "JobQueue",
+    "LeasedJob",
+    "MemoryCacheBackend",
+    "MemoryJobQueue",
+    "SQLiteCacheBackend",
+    "SQLiteJobQueue",
+    "SubmitReceipt",
+    "Worker",
+    "WorkerStats",
+    "dead_letter_outcome",
+    "make_cache_backend",
+    "make_job_queue",
+    "storable_outcome",
+]

@@ -1,0 +1,455 @@
+"""Pluggable result-cache backends for the distributed solve fabric.
+
+A :class:`CacheBackend` is one digest-addressed store of JSON outcome
+dicts with a uniform four-call surface — ``get`` / ``put`` /
+``contains`` / ``stats`` — so the serving layer
+(:class:`repro.service.cache.ResultCache`) and the coordinator
+(:mod:`repro.distributed.server`) can swap storage without touching
+solve logic. Four implementations ship:
+
+``memory``
+    Thread-safe LRU of deep-copied dicts (the tier-1 cache everywhere).
+``disk``
+    One atomically-written JSON file per digest under
+    ``<root>/<digest[:2]>/`` — byte-identical to the layout the
+    pre-fabric :class:`ResultCache` wrote, so existing cache
+    directories keep working and stay prefix-shardable.
+``sqlite``
+    A single WAL-mode SQLite file, safe under concurrent worker
+    *processes* sharing one filesystem (the coordinator's default
+    persistent store).
+``http``
+    A client for a coordinator's ``/cache/<digest>`` endpoints: point
+    any :class:`ThroughputService` at a remote shared cache.
+
+Every backend refuses to store budget-dependent outcomes (``TIMEOUT``,
+``ERROR``, ``CANCELLED`` — anything outside
+:data:`repro.service.job.CACHEABLE_STATUSES`): a poisoned entry written
+by one buggy client must not propagate through a shared store, so the
+guard lives here, not only in the service layer above.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import sqlite3
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+
+def storable_outcome(outcome: Dict[str, Any]) -> bool:
+    """Whether ``outcome`` is deterministic and therefore cacheable.
+
+    Outcomes without a ``status`` key are allowed (raw caller dicts);
+    any explicit status must be one of the deterministic ones.
+    """
+    from repro.service.job import CACHEABLE_STATUSES  # local: avoids
+    # a circular import while repro.service's own __init__ runs.
+
+    status = outcome.get("status")
+    return status is None or status in CACHEABLE_STATUSES
+
+
+class _Counters:
+    """Thread-safe hit/miss/put counters shared by every backend."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.rejected_puts = 0
+        self.errors = 0
+
+    def bump(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "rejected_puts": self.rejected_puts,
+                "errors": self.errors,
+            }
+
+
+class CacheBackend:
+    """Digest-addressed outcome store: ``get``/``put``/``contains``/``stats``.
+
+    Subclasses implement ``_get``/``_put``/``_contains`` plus (where
+    meaningful) ``entries``/``size_bytes``; the public wrappers apply
+    the shared cacheability guard and counters.
+    """
+
+    #: Registry key and the tier string reported on a hit.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._counters = _Counters()
+
+    # -- public surface -------------------------------------------------
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached outcome dict for ``digest``, or ``None``."""
+        outcome = self._get(digest)
+        self._counters.bump("hits" if outcome is not None else "misses")
+        return outcome
+
+    def put(self, digest: str, outcome: Dict[str, Any]) -> bool:
+        """Store a deterministic outcome; returns ``False`` (and stores
+        nothing) for budget-dependent statuses like ``TIMEOUT``."""
+        if not storable_outcome(outcome):
+            self._counters.bump("rejected_puts")
+            return False
+        self._put(digest, outcome)
+        self._counters.bump("puts")
+        return True
+
+    def contains(self, digest: str) -> bool:
+        return self._contains(digest)
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot plus backend identity and entry count."""
+        out: Dict[str, Any] = {"backend": self.name}
+        out.update(self._counters.as_dict())
+        entries = self.entry_count()
+        if entries is not None:
+            out["entries"] = entries
+        return out
+
+    # -- storage hooks ---------------------------------------------------
+    def _get(self, digest: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def _put(self, digest: str, outcome: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _contains(self, digest: str) -> bool:
+        return self._get(digest) is not None
+
+    # -- optional introspection -----------------------------------------
+    def entry_count(self) -> Optional[int]:
+        """Number of stored entries, or ``None`` when unknowable."""
+        return None
+
+    def entries(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Iterate ``(digest, outcome)``; empty where unsupported."""
+        return iter(())
+
+    def size_bytes(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "CacheBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class MemoryCacheBackend(CacheBackend):
+    """Thread-safe LRU of deep-copied outcome dicts.
+
+    ``max_entries <= 0`` disables storage entirely (every get misses),
+    which is how callers opt out of the memory tier.
+    """
+
+    name = "memory"
+
+    def __init__(self, max_entries: int = 1024):
+        super().__init__()
+        self.max_entries = max_entries
+        self._store: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _get(self, digest: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            entry = self._store.get(digest)
+            if entry is None:
+                return None
+            self._store.move_to_end(digest)
+            # Deep copy both ways: outcomes carry nested dicts (K
+            # vectors); a caller mutating its result must not poison
+            # the store.
+            return copy.deepcopy(entry)
+
+    def _put(self, digest: str, outcome: Dict[str, Any]) -> None:
+        if self.max_entries <= 0:
+            return
+        with self._lock:
+            self._store[digest] = copy.deepcopy(outcome)
+            self._store.move_to_end(digest)
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+
+    def _contains(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._store
+
+    def entry_count(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def entries(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        with self._lock:
+            snapshot = [
+                (d, copy.deepcopy(o)) for d, o in self._store.items()
+            ]
+        return iter(sorted(snapshot))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+
+
+class DiskCacheBackend(CacheBackend):
+    """One JSON file per digest under ``<root>/<digest[:2]>/``.
+
+    Writes are atomic (temp file + ``os.replace``) so concurrent
+    processes sharing the directory never observe torn entries. The
+    on-disk layout — path shape, key order, one-space indent — is
+    byte-identical to what :class:`repro.service.cache.ResultCache`
+    wrote before backends existed: old cache directories remain valid
+    and the ``<digest[:2]>`` fan-out stays prefix-shardable.
+    """
+
+    name = "disk"
+
+    def __init__(self, root: Union[str, Path]):
+        super().__init__()
+        self.root = Path(root)
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def _get(self, digest: str) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(self._path(digest).read_text())
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+
+    def _put(self, digest: str, outcome: Dict[str, Any]) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(outcome, sort_keys=True, indent=1)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{digest[:8]}-", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            self._counters.bump("errors")
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _contains(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def entry_count(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def entries(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                yield path.stem, json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                continue
+
+    def size_bytes(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(p.stat().st_size for p in self.root.glob("*/*.json"))
+
+
+class SQLiteCacheBackend(CacheBackend):
+    """A WAL-mode SQLite outcome store, safe under concurrent workers.
+
+    WAL journaling lets many reader processes overlap one writer, and a
+    5 s busy timeout rides out writer bursts; one file replaces the
+    disk backend's directory fan-out where inode count matters more
+    than per-entry shardability.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, path: Union[str, Path], *, timeout: float = 5.0):
+        super().__init__()
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=timeout, check_same_thread=False
+        )
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS cache ("
+                " digest TEXT PRIMARY KEY,"
+                " outcome TEXT NOT NULL)"
+            )
+            self._conn.commit()
+
+    def _get(self, digest: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT outcome FROM cache WHERE digest = ?", (digest,)
+            ).fetchone()
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except json.JSONDecodeError:
+            return None
+
+    def _put(self, digest: str, outcome: Dict[str, Any]) -> None:
+        blob = json.dumps(outcome, sort_keys=True)
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO cache (digest, outcome) "
+                "VALUES (?, ?)",
+                (digest, blob),
+            )
+            self._conn.commit()
+
+    def _contains(self, digest: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM cache WHERE digest = ?", (digest,)
+            ).fetchone()
+        return row is not None
+
+    def entry_count(self) -> int:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM cache"
+            ).fetchone()[0]
+
+    def entries(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT digest, outcome FROM cache ORDER BY digest"
+            ).fetchall()
+        for digest, blob in rows:
+            try:
+                yield digest, json.loads(blob)
+            except json.JSONDecodeError:
+                continue
+
+    def size_bytes(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COALESCE(SUM(LENGTH(outcome)), 0) FROM cache"
+            ).fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+class HTTPCacheBackend(CacheBackend):
+    """Client for a coordinator's ``/cache/<digest>`` endpoints.
+
+    Network failures degrade to cache misses (and dropped puts) rather
+    than exceptions — a flaky cache host must never fail a solve — but
+    they are counted in ``stats()['errors']`` so operators can see the
+    degradation. Counters are the *client-side* view; the remote
+    store's own numbers live in the coordinator's ``GET /stats``.
+    """
+
+    name = "http"
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0):
+        super().__init__()
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, digest: str, *, method: str = "GET",
+                 payload: Optional[Dict[str, Any]] = None):
+        from repro.distributed.client import CoordinatorError, http_json
+
+        url = f"{self.base_url}/cache/{digest}"
+        try:
+            return http_json(
+                url, method=method, payload=payload, timeout=self.timeout
+            )
+        except CoordinatorError:
+            self._counters.bump("errors")
+            return None, None
+
+    def _get(self, digest: str) -> Optional[Dict[str, Any]]:
+        status, body = self._request(digest)
+        if status == 200 and isinstance(body, dict):
+            return body
+        return None
+
+    def _put(self, digest: str, outcome: Dict[str, Any]) -> None:
+        self._request(digest, method="PUT", payload=outcome)
+
+    def _contains(self, digest: str) -> bool:
+        from repro.distributed.client import CoordinatorError, http_head
+
+        try:
+            return http_head(
+                f"{self.base_url}/cache/{digest}", timeout=self.timeout
+            )
+        except CoordinatorError:
+            self._counters.bump("errors")
+            return False
+
+
+#: Name → class registry; ``docs/service.md``'s backend matrix is
+#: pinned to these keys by ``tests/test_docs.py``.
+CACHE_BACKENDS: Dict[str, type] = {
+    MemoryCacheBackend.name: MemoryCacheBackend,
+    DiskCacheBackend.name: DiskCacheBackend,
+    SQLiteCacheBackend.name: SQLiteCacheBackend,
+    HTTPCacheBackend.name: HTTPCacheBackend,
+}
+
+
+def make_cache_backend(spec: str) -> CacheBackend:
+    """Build a backend from a CLI-style spec string.
+
+    ``memory`` / ``memory:<n>`` → LRU of ``n`` entries;
+    ``disk:<dir>`` (or a bare path) → disk store; ``sqlite:<file>`` →
+    SQLite store; ``http://…`` / ``https://…`` → remote client.
+    """
+    if spec.startswith(("http://", "https://")):
+        return HTTPCacheBackend(spec)
+    kind, _, arg = spec.partition(":")
+    if kind == "memory":
+        return MemoryCacheBackend(int(arg) if arg else 1024)
+    if kind == "disk":
+        if not arg:
+            raise ValueError("disk cache spec needs a directory: disk:DIR")
+        return DiskCacheBackend(arg)
+    if kind == "sqlite":
+        if not arg:
+            raise ValueError("sqlite cache spec needs a file: sqlite:PATH")
+        return SQLiteCacheBackend(arg)
+    # A bare path is the common shorthand for the disk store.
+    if kind and not arg:
+        return DiskCacheBackend(spec)
+    raise ValueError(
+        f"unknown cache backend spec {spec!r} "
+        f"(choose from {sorted(CACHE_BACKENDS)})"
+    )

@@ -1,0 +1,240 @@
+"""HTTP client for a coordinator node.
+
+:class:`CoordinatorClient` speaks the coordinator's JSON protocol
+(:mod:`repro.distributed.server`) and implements the same
+``submit / lease / heartbeat / ack / nack / result / depth`` surface as
+a local :class:`~repro.distributed.jobqueue.JobQueue` — so a
+:class:`~repro.distributed.worker.Worker` or a
+:class:`~repro.service.facade.ThroughputService` configured with
+``queue=CoordinatorClient(url)`` is the *distributed* deployment of
+exactly the code path that runs single-host.
+
+Everything rides :mod:`urllib` (stdlib only). A connection failure
+raises :class:`CoordinatorError` (a :class:`~repro.exceptions.ReproError`,
+so the CLI reports it as a plain error line, not a traceback).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+from repro.distributed.jobqueue import LeasedJob, SubmitReceipt
+
+
+class CoordinatorError(ReproError):
+    """The coordinator is unreachable or answered with garbage."""
+
+
+def http_json(
+    url: str,
+    *,
+    method: str = "GET",
+    payload: Optional[Any] = None,
+    timeout: float = 10.0,
+) -> Tuple[int, Any]:
+    """One JSON request/response; ``(status, parsed body or None)``.
+
+    HTTP error statuses are returned, not raised (the caller decides
+    what a 404 means); transport failures raise :class:`CoordinatorError`.
+    """
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url, data=data, method=method, headers=headers
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            body = response.read()
+            status = response.status
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        status = exc.code
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise CoordinatorError(f"coordinator unreachable: {url}: {exc}")
+    if not body:
+        return status, None
+    try:
+        return status, json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise CoordinatorError(
+            f"coordinator sent non-JSON from {url}: {exc}"
+        )
+
+
+def http_head(url: str, *, timeout: float = 10.0) -> bool:
+    """``True`` iff a HEAD request answers 2xx."""
+    request = urllib.request.Request(url, method="HEAD")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return 200 <= response.status < 300
+    except urllib.error.HTTPError:
+        return False
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise CoordinatorError(f"coordinator unreachable: {url}: {exc}")
+
+
+class CoordinatorClient:
+    """A remote :class:`JobQueue` — plus result/stats polling — over HTTP.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running ``repro serve`` node.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    name = "coordinator"
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, path: str, *, method: str = "GET",
+              payload: Optional[Any] = None,
+              expect: Sequence[int] = (200,)) -> Any:
+        status, body = http_json(
+            f"{self.base_url}{path}", method=method, payload=payload,
+            timeout=self.timeout,
+        )
+        if status not in expect:
+            detail = body.get("error") if isinstance(body, dict) else body
+            raise CoordinatorError(
+                f"coordinator {method} {path} failed "
+                f"({status}): {detail}"
+            )
+        return body
+
+    # -- health / stats --------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._call("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call("/stats")
+
+    def depth(self) -> Dict[str, int]:
+        return self.stats().get("queue", {})
+
+    # -- enqueue ---------------------------------------------------------
+    def submit_many(
+        self, payloads: Sequence[Dict[str, Any]]
+    ) -> List[SubmitReceipt]:
+        body = self._call(
+            "/jobs", method="POST", payload={"jobs": list(payloads)}
+        )
+        return [
+            SubmitReceipt(digest=row["digest"], state=row["state"],
+                          job_id=row.get("job_id", 0))
+            for row in body["jobs"]
+        ]
+
+    def submit(self, payload: Dict[str, Any], *,
+               digest: Optional[str] = None) -> SubmitReceipt:
+        return self.submit_many([payload])[0]
+
+    # -- worker side -----------------------------------------------------
+    def lease(self, max_jobs: int = 1, *, worker_id: str = "",
+              visibility_timeout: Optional[float] = None) -> List[LeasedJob]:
+        params = {"max": max_jobs, "worker": worker_id}
+        if visibility_timeout is not None:
+            params["visibility"] = visibility_timeout
+        body = self._call(
+            "/jobs/lease?" + urllib.parse.urlencode(params)
+        )
+        return [
+            LeasedJob(
+                job_id=row["job_id"], token=row["token"],
+                digest=row["digest"], payload=row["payload"],
+                attempt=row.get("attempt", 1),
+                deadline=row.get("deadline", 0.0),
+            )
+            for row in body["jobs"]
+        ]
+
+    def report(
+        self,
+        results: Sequence[Dict[str, Any]],
+        *,
+        worker_id: str = "",
+    ) -> List[bool]:
+        """Ack a batch: each row is ``{job_id, token, digest, outcome}``."""
+        body = self._call(
+            "/results", method="POST",
+            payload={"worker": worker_id, "results": list(results)},
+        )
+        return [bool(flag) for flag in body["accepted"]]
+
+    def ack(self, job_id: int, token: str,
+            outcome: Dict[str, Any]) -> bool:
+        return self.report([{
+            "job_id": job_id, "token": token,
+            "digest": outcome.get("digest", ""), "outcome": outcome,
+        }])[0]
+
+    def nack(self, job_id: int, token: str, *, error: str = "") -> bool:
+        body = self._call(
+            "/nack", method="POST",
+            payload={"job_id": job_id, "token": token, "error": error},
+        )
+        return bool(body["accepted"])
+
+    def heartbeat_many(
+        self, leases: Sequence[Dict[str, Any]], *, worker_id: str = ""
+    ) -> List[bool]:
+        body = self._call(
+            "/heartbeat", method="POST",
+            payload={"worker": worker_id, "leases": list(leases)},
+        )
+        return [bool(flag) for flag in body["accepted"]]
+
+    def heartbeat(self, job_id: int, token: str) -> bool:
+        return self.heartbeat_many([{"job_id": job_id, "token": token}])[0]
+
+    # -- result polling --------------------------------------------------
+    def result(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The outcome for ``digest`` or ``None`` while in flight.
+
+        Results answered by the coordinator's *cache* (rather than a
+        fresh worker solve) come back tagged ``cache_hit="remote"``.
+        """
+        body = self._call(f"/results/{digest}", expect=(200, 404))
+        return self._tag(body)
+
+    def results_fetch(
+        self, digests: Sequence[str]
+    ) -> Dict[str, Optional[Dict[str, Any]]]:
+        """Batched :meth:`result` — one round trip for a whole poll."""
+        body = self._call(
+            "/results/fetch", method="POST",
+            payload={"digests": list(digests)},
+        )
+        return {
+            digest: self._tag(row)
+            for digest, row in body["results"].items()
+        }
+
+    @staticmethod
+    def _tag(body: Optional[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+        if not body or "outcome" not in body or body["outcome"] is None:
+            return None
+        outcome = body["outcome"]
+        if body.get("source") == "cache":
+            outcome["cache_hit"] = "remote"
+        return outcome
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "CoordinatorClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,403 @@
+"""The coordinator node: an HTTP front over one cache + one queue.
+
+:class:`Coordinator` is the transport-free core — in-batch dedup,
+cache-first short-circuiting, worker liveness bookkeeping — over any
+:class:`~repro.distributed.backends.CacheBackend` and
+:class:`~repro.distributed.jobqueue.JobQueue` pair, so tests (and
+in-process deployments) can drive it directly.
+:class:`CoordinatorServer` wraps it in a ``ThreadingHTTPServer``
+speaking the canonical job JSON:
+
+========================  ==============================================
+``GET  /healthz``          liveness probe (``{"ok": true, …}``)
+``GET  /stats``            cache/queue/worker counters
+``POST /jobs``             enqueue a batch (dedup + cache short-circuit)
+``GET  /jobs/lease``       lease up to ``?max=`` jobs for ``?worker=``
+``POST /results``          ack leased jobs with their outcomes
+``POST /nack``             return a leased job for redelivery
+``POST /heartbeat``        extend leases mid-solve
+``GET  /results/<digest>`` one outcome (404 while in flight)
+``POST /results/fetch``    batched outcome poll
+``GET/PUT /cache/<digest>``the remote-cache surface (HTTPCacheBackend)
+========================  ==============================================
+
+A job is *cached* when the cache already holds its digest (never
+re-queued), *pending* when an identical digest is in flight (never
+solved twice), *queued* otherwise. Results reach waiting clients
+through the queue's result column — including the synthesized
+``ERROR`` outcomes of dead-lettered jobs — so a batch always drains.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.distributed.backends import (
+    CacheBackend,
+    MemoryCacheBackend,
+    storable_outcome,
+)
+from repro.distributed.jobqueue import JobQueue, MemoryJobQueue
+
+
+class Coordinator:
+    """Transport-free coordinator core: dedup, short-circuit, liveness."""
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[CacheBackend] = None,
+        queue: Optional[JobQueue] = None,
+    ):
+        self.cache = cache if cache is not None else MemoryCacheBackend()
+        self.queue = queue if queue is not None else MemoryJobQueue()
+        self.started = time.time()
+        self._lock = threading.Lock()
+        self._workers: Dict[str, Dict[str, Any]] = {}
+        self._submitted = 0
+        self._short_circuited = 0
+
+    # -- worker liveness -------------------------------------------------
+    def _saw_worker(self, worker_id: str, **bumps: int) -> None:
+        if not worker_id:
+            return
+        with self._lock:
+            record = self._workers.setdefault(
+                worker_id, {"leases": 0, "results": 0, "heartbeats": 0}
+            )
+            record["last_seen"] = time.time()
+            for key, amount in bumps.items():
+                record[key] = record.get(key, 0) + amount
+
+    # -- job intake ------------------------------------------------------
+    def submit_jobs(
+        self, payloads: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Enqueue a batch; per-job ``{digest, state, job_id}`` rows.
+
+        States: ``cached`` (the cache already has the answer),
+        ``duplicate`` (same digest earlier in this batch), ``pending``
+        (digest already in flight from an earlier batch), ``queued``,
+        ``done`` (queue already finished it).
+        """
+        receipts: List[Dict[str, Any]] = []
+        seen: set = set()
+        for payload in payloads:
+            digest = payload.get("digest", "")
+            if not digest:
+                receipts.append(
+                    {"digest": "", "state": "rejected", "job_id": 0}
+                )
+                continue
+            with self._lock:
+                self._submitted += 1
+            if digest in seen:
+                receipts.append(
+                    {"digest": digest, "state": "duplicate", "job_id": 0}
+                )
+                continue
+            seen.add(digest)
+            if self.cache.contains(digest):
+                with self._lock:
+                    self._short_circuited += 1
+                receipts.append(
+                    {"digest": digest, "state": "cached", "job_id": 0}
+                )
+                continue
+            receipt = self.queue.submit(payload, digest=digest)
+            receipts.append({
+                "digest": digest, "state": receipt.state,
+                "job_id": receipt.job_id,
+            })
+        return receipts
+
+    # -- worker protocol -------------------------------------------------
+    def lease(
+        self, max_jobs: int, *, worker_id: str = "",
+        visibility_timeout: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        jobs = self.queue.lease(
+            max_jobs, worker_id=worker_id,
+            visibility_timeout=visibility_timeout,
+        )
+        self._saw_worker(worker_id, leases=len(jobs))
+        return [
+            {"job_id": j.job_id, "token": j.token, "digest": j.digest,
+             "payload": j.payload, "attempt": j.attempt,
+             "deadline": j.deadline}
+            for j in jobs
+        ]
+
+    def report(
+        self, results: Sequence[Dict[str, Any]], *, worker_id: str = ""
+    ) -> List[bool]:
+        accepted: List[bool] = []
+        for row in results:
+            outcome = row.get("outcome") or {}
+            digest = row.get("digest") or outcome.get("digest", "")
+            ok = self.queue.ack(
+                row.get("job_id", 0), row.get("token", ""), outcome
+            )
+            if ok and digest and storable_outcome(outcome):
+                self.cache.put(digest, outcome)
+            accepted.append(ok)
+        self._saw_worker(worker_id, results=len(results))
+        return accepted
+
+    def nack(self, job_id: int, token: str, *, error: str = "",
+             worker_id: str = "") -> bool:
+        self._saw_worker(worker_id)
+        return self.queue.nack(job_id, token, error=error)
+
+    def heartbeat(
+        self, leases: Sequence[Dict[str, Any]], *, worker_id: str = ""
+    ) -> List[bool]:
+        self._saw_worker(worker_id, heartbeats=len(leases))
+        return [
+            self.queue.heartbeat(
+                row.get("job_id", 0), row.get("token", "")
+            )
+            for row in leases
+        ]
+
+    # -- results ---------------------------------------------------------
+    def result(self, digest: str) -> Optional[Dict[str, Any]]:
+        """``{"outcome": …, "source": "queue"|"cache"}`` or ``None``."""
+        outcome = self.queue.result(digest)
+        if outcome is not None:
+            return {"outcome": outcome, "source": "queue"}
+        outcome = self.cache.get(digest)
+        if outcome is not None:
+            return {"outcome": outcome, "source": "cache"}
+        return None
+
+    # -- observability ---------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        now = time.time()
+        with self._lock:
+            workers = {
+                worker_id: {
+                    "age": round(now - record.get("last_seen", now), 3),
+                    "leases": record.get("leases", 0),
+                    "results": record.get("results", 0),
+                    "heartbeats": record.get("heartbeats", 0),
+                }
+                for worker_id, record in self._workers.items()
+            }
+            submitted = self._submitted
+            short_circuited = self._short_circuited
+        return {
+            "uptime": round(now - self.started, 3),
+            "submitted": submitted,
+            "cache_short_circuits": short_circuited,
+            "cache": self.cache.stats(),
+            "queue": self.queue.stats(),
+            "dead_letters": self.queue.dead_letters(),
+            "workers": workers,
+        }
+
+    def healthz(self) -> Dict[str, Any]:
+        return {"ok": True, "uptime": round(time.time() - self.started, 3)}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the owning server's :class:`Coordinator`."""
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return None
+        return json.loads(self.rfile.read(length))
+
+    def _query(self) -> Tuple[str, Dict[str, str]]:
+        path, _, raw = self.path.partition("?")
+        params = dict(
+            urllib.parse.parse_qsl(raw, keep_blank_values=True)
+        )
+        return urllib.parse.unquote(path), params
+
+    @property
+    def _core(self) -> Coordinator:
+        return self.server.coordinator
+
+    # -- verbs -----------------------------------------------------------
+    def do_GET(self) -> None:
+        try:
+            path, params = self._query()
+            if path == "/healthz":
+                self._send_json(200, self._core.healthz())
+            elif path == "/stats":
+                self._send_json(200, self._core.stats())
+            elif path == "/jobs/lease":
+                visibility = params.get("visibility")
+                jobs = self._core.lease(
+                    max(1, int(params.get("max", "1"))),
+                    worker_id=params.get("worker", ""),
+                    visibility_timeout=(
+                        float(visibility) if visibility else None
+                    ),
+                )
+                self._send_json(200, {"jobs": jobs})
+            elif path.startswith("/results/"):
+                found = self._core.result(path[len("/results/"):])
+                if found is None:
+                    self._send_json(404, {"error": "in flight or unknown"})
+                else:
+                    self._send_json(200, found)
+            elif path.startswith("/cache/"):
+                outcome = self._core.cache.get(path[len("/cache/"):])
+                if outcome is None:
+                    self._send_json(404, {"error": "cache miss"})
+                else:
+                    self._send_json(200, outcome)
+            else:
+                self._send_json(404, {"error": f"no route {path}"})
+        except Exception as exc:  # noqa: BLE001 - boundary
+            self._send_json(500, {"error": repr(exc)})
+
+    def do_HEAD(self) -> None:
+        path, _ = self._query()
+        status = 404
+        if path.startswith("/cache/") and \
+                self._core.cache.contains(path[len("/cache/"):]):
+            status = 200
+        self.send_response(status)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def do_POST(self) -> None:
+        try:
+            path, _ = self._query()
+            body = self._read_json()
+            if path == "/jobs":
+                receipts = self._core.submit_jobs(
+                    (body or {}).get("jobs", [])
+                )
+                self._send_json(200, {"jobs": receipts})
+            elif path == "/results":
+                accepted = self._core.report(
+                    (body or {}).get("results", []),
+                    worker_id=(body or {}).get("worker", ""),
+                )
+                self._send_json(200, {"accepted": accepted})
+            elif path == "/results/fetch":
+                digests = (body or {}).get("digests", [])
+                self._send_json(200, {"results": {
+                    digest: self._core.result(digest)
+                    for digest in digests
+                }})
+            elif path == "/nack":
+                body = body or {}
+                ok = self._core.nack(
+                    body.get("job_id", 0), body.get("token", ""),
+                    error=body.get("error", ""),
+                    worker_id=body.get("worker", ""),
+                )
+                self._send_json(200, {"accepted": ok})
+            elif path == "/heartbeat":
+                accepted = self._core.heartbeat(
+                    (body or {}).get("leases", []),
+                    worker_id=(body or {}).get("worker", ""),
+                )
+                self._send_json(200, {"accepted": accepted})
+            else:
+                self._send_json(404, {"error": f"no route {path}"})
+        except Exception as exc:  # noqa: BLE001 - boundary
+            self._send_json(500, {"error": repr(exc)})
+
+    def do_PUT(self) -> None:
+        try:
+            path, _ = self._query()
+            if path.startswith("/cache/"):
+                digest = path[len("/cache/"):]
+                outcome = self._read_json()
+                stored = bool(
+                    isinstance(outcome, dict)
+                    and self._core.cache.put(digest, outcome)
+                )
+                self._send_json(200, {"stored": stored})
+            else:
+                self._send_json(404, {"error": f"no route {path}"})
+        except Exception as exc:  # noqa: BLE001 - boundary
+            self._send_json(500, {"error": repr(exc)})
+
+
+class CoordinatorServer:
+    """A threaded HTTP server around a :class:`Coordinator`.
+
+    ``port=0`` binds an ephemeral port; :attr:`url` reports the real
+    address either way. ``start()`` serves from a daemon thread (the
+    in-process/test mode); :meth:`serve_forever` blocks (the CLI mode).
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache: Optional[CacheBackend] = None,
+        queue: Optional[JobQueue] = None,
+        verbose: bool = False,
+    ):
+        self.coordinator = Coordinator(cache=cache, queue=queue)
+        self._http = ThreadingHTTPServer((host, port), _Handler)
+        self._http.daemon_threads = True
+        self._http.coordinator = self.coordinator  # type: ignore[attr-defined]
+        self._http.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "CoordinatorServer":
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._http.serve_forever()
+
+    def shutdown(self) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "CoordinatorServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

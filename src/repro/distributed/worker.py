@@ -1,0 +1,280 @@
+"""The worker daemon: lease chunks, solve, report, heartbeat.
+
+A :class:`Worker` drains any :class:`~repro.distributed.jobqueue.JobQueue`
+— an in-process queue, a shared SQLite file, or a remote coordinator
+via :class:`~repro.distributed.client.CoordinatorClient` (they all
+speak the same lease/ack surface). Payloads run through the exact
+single-host solve path: inline
+:func:`repro.service.pool.solve_chunk` (per-worker graph LRU **and**
+the PR-4 expansion block cache carry across every chunk this process
+solves) or a :class:`~repro.service.pool.SolverPool` when
+``workers > 0`` fans one daemon over several OS processes.
+
+While a chunk is solving, a daemon thread heartbeats its leases at a
+third of the visibility timeout, so long solves are never redelivered
+out from under a live worker — and a worker that dies simply stops
+heartbeating, which *is* the crash-recovery protocol. ``stop()`` (the
+CLI wires it to SIGTERM/SIGINT) finishes the in-flight chunk, reports
+it, and exits cleanly; ``drain=True`` exits once the queue is empty.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.distributed.backends import CacheBackend, storable_outcome
+from repro.distributed.jobqueue import LeasedJob
+
+
+@dataclass
+class WorkerStats:
+    """Lifetime counters of one worker daemon."""
+
+    chunks: int = 0
+    jobs: int = 0
+    acks: int = 0
+    stale: int = 0
+    nacks: int = 0
+    heartbeats: int = 0
+    idle_polls: int = 0
+    queue_errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class Worker:
+    """Lease → solve → report loop over a job queue.
+
+    Parameters
+    ----------
+    queue:
+        Anything speaking the :class:`JobQueue` lease/ack surface —
+        including a :class:`CoordinatorClient`.
+    cache:
+        Optional local :class:`CacheBackend` to write deterministic
+        outcomes through (useful for queue-only deployments; behind a
+        coordinator the *server* populates the shared cache, so plain
+        coordinator workers leave this ``None``).
+    workers:
+        ``0`` solves chunks inline in this process (maximum block-cache
+        reuse); ``n ≥ 1`` fans chunks over a :class:`SolverPool`.
+    chunk_size / poll_interval / visibility_timeout:
+        Jobs per lease, idle sleep, and the lease's exclusivity window
+        (``None`` uses the queue's default).
+    drain:
+        Exit once the queue reports no pending or leased jobs.
+    max_chunks:
+        Stop after this many solved chunks (tests and smoke runs).
+    """
+
+    def __init__(
+        self,
+        queue: Any,
+        *,
+        cache: Optional[CacheBackend] = None,
+        worker_id: Optional[str] = None,
+        workers: int = 0,
+        mp_context: Any = None,
+        chunk_size: int = 4,
+        poll_interval: float = 0.5,
+        visibility_timeout: Optional[float] = None,
+        drain: bool = False,
+        max_chunks: Optional[int] = None,
+    ):
+        self.queue = queue
+        self.cache = cache
+        self.worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self.chunk_size = max(1, chunk_size)
+        self.poll_interval = poll_interval
+        self.visibility_timeout = visibility_timeout
+        self.drain = drain
+        self.max_chunks = max_chunks
+        self.stats = WorkerStats()
+        self._workers = workers
+        self._mp_context = mp_context
+        self._pool = None
+        self._stop = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the loop to exit after the in-flight chunk reports."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def _ensure_pool(self):
+        if self._workers > 0 and self._pool is None:
+            from repro.service.pool import SolverPool
+
+            self._pool = SolverPool(
+                self._workers, mp_context=self._mp_context
+            )
+        return self._pool
+
+    def _drained(self) -> bool:
+        depth = getattr(self.queue, "depth", None)
+        if depth is None:
+            return True
+        counts = depth()
+        return counts.get("pending", 0) + counts.get("leased", 0) == 0
+
+    # -- heartbeats ------------------------------------------------------
+    def _heartbeat_interval(self, jobs: Sequence[LeasedJob]) -> float:
+        """A third of the *actual* lease window, clamped to [0.2, 10] s.
+
+        The leases' own deadlines are authoritative — a coordinator
+        configured with a short ``--visibility-timeout`` must be
+        heartbeated faster than any client-side default would guess.
+        """
+        windows = [j.deadline - time.time() for j in jobs if j.deadline]
+        if windows and min(windows) > 0:
+            return min(10.0, max(0.2, min(windows) / 3.0))
+        visibility = self.visibility_timeout
+        if visibility is None:
+            visibility = getattr(self.queue, "visibility_timeout", 30.0)
+        return min(10.0, max(0.2, visibility / 3.0))
+
+    def _heartbeat_loop(self, jobs: Sequence[LeasedJob],
+                        done: threading.Event) -> None:
+        interval = self._heartbeat_interval(jobs)
+        leases = [{"job_id": j.job_id, "token": j.token} for j in jobs]
+        batched = getattr(self.queue, "heartbeat_many", None)
+        while not done.wait(interval):
+            # A missed heartbeat is recoverable (the lease just runs
+            # its timeout down); never kill the solve over it, and try
+            # again next tick rather than abandoning the loop.
+            try:
+                if batched is not None:
+                    accepted = batched(leases, worker_id=self.worker_id)
+                    self.stats.heartbeats += sum(map(bool, accepted))
+                else:
+                    for job in jobs:
+                        if self.queue.heartbeat(job.job_id, job.token):
+                            self.stats.heartbeats += 1
+            except Exception:  # noqa: BLE001 - keep solving
+                continue
+
+    # -- the loop --------------------------------------------------------
+    def run(self) -> WorkerStats:
+        """Drain the queue until stopped; returns the final counters.
+
+        Queue/transport failures (a coordinator restart, one timed-out
+        HTTP request) never kill the daemon: the loop backs off and
+        retries — any chunk that was leased when a report failed is
+        simply redelivered after its visibility timeout.
+        """
+        consecutive_errors = 0
+        try:
+            while not self._stop.is_set():
+                try:
+                    jobs = self.queue.lease(
+                        self.chunk_size, worker_id=self.worker_id,
+                        visibility_timeout=self.visibility_timeout,
+                    )
+                    if not jobs:
+                        self.stats.idle_polls += 1
+                        if self.drain and self._drained():
+                            break
+                        if self._stop.wait(self.poll_interval):
+                            break
+                        continue
+                    self.solve_chunk(jobs)
+                except Exception:  # noqa: BLE001 - outlive the outage
+                    self.stats.queue_errors += 1
+                    consecutive_errors += 1
+                    backoff = min(
+                        10.0, self.poll_interval * (2 ** min(
+                            consecutive_errors, 6
+                        ))
+                    )
+                    if self._stop.wait(backoff):
+                        break
+                    continue
+                consecutive_errors = 0
+                self.stats.chunks += 1
+                if self.max_chunks is not None \
+                        and self.stats.chunks >= self.max_chunks:
+                    break
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+        return self.stats
+
+    def solve_chunk(self, jobs: Sequence[LeasedJob]) -> None:
+        """Solve one leased chunk and report every outcome."""
+        payloads = [job.payload for job in jobs]
+        done = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(jobs, done), daemon=True,
+        )
+        beat.start()
+        try:
+            pool = self._ensure_pool()
+            if pool is not None:
+                results = pool.solve(payloads)
+            else:
+                from repro.service.pool import solve_chunk
+
+                results = solve_chunk(payloads)
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            done.set()
+            beat.join()
+            for job in jobs:
+                try:
+                    self.queue.nack(job.job_id, job.token,
+                                    error=repr(exc))
+                    self.stats.nacks += 1
+                except Exception:  # noqa: BLE001
+                    pass
+            return
+        done.set()
+        beat.join()
+        self._report(jobs, results)
+
+    def _report(self, jobs: Sequence[LeasedJob],
+                results: Sequence[Dict[str, Any]]) -> None:
+        rows: List[Dict[str, Any]] = []
+        for job, outcome in zip(jobs, results):
+            outcome = dict(outcome)
+            outcome.setdefault("digest", job.digest)
+            rows.append({
+                "job_id": job.job_id, "token": job.token,
+                "digest": job.digest, "outcome": outcome,
+            })
+        report = getattr(self.queue, "report", None)
+        if report is not None:
+            accepted = report(rows, worker_id=self.worker_id)
+        else:
+            accepted = [
+                self.queue.ack(row["job_id"], row["token"],
+                               row["outcome"])
+                for row in rows
+            ]
+        for row, ok in zip(rows, accepted):
+            self.stats.jobs += 1
+            if not ok:
+                # Redelivered elsewhere after a lease expiry: someone
+                # else's result won — drop ours (no duplicates).
+                self.stats.stale += 1
+                continue
+            self.stats.acks += 1
+            if self.cache is not None \
+                    and storable_outcome(row["outcome"]):
+                self.cache.put(row["digest"], row["outcome"])
+
+    def run_in_thread(self, name: Optional[str] = None) -> threading.Thread:
+        """Start :meth:`run` on a daemon thread (in-process fan-out)."""
+        thread = threading.Thread(
+            target=self.run, name=name or self.worker_id, daemon=True,
+        )
+        thread.start()
+        return thread

@@ -65,7 +65,12 @@ def max_cycle_ratio_lawler(graph: BiValuedGraph) -> CycleResult:
     hi = Fraction(cost_bound + 1, 1)  # strictly above any cycle ratio
     gap = Fraction(1, transit_bound * transit_bound)
     iterations = 0
-    while hi - lo > gap:
+    # Distinct cycle ratios differ by AT LEAST gap, so the interval
+    # must shrink strictly BELOW gap before it can hold only one
+    # candidate — exiting at hi - lo == gap can still leave two (e.g. a
+    # single cost-1/transit-1 self-loop: lo=0, hi=1, gap=1 holds both
+    # 0 and λ* = 1).
+    while hi - lo >= gap:
         iterations += 1
         mid = (lo + hi) / 2
         cycle = find_positive_cycle(scaled, mid.numerator, mid.denominator)
@@ -85,8 +90,9 @@ def max_cycle_ratio_lawler(graph: BiValuedGraph) -> CycleResult:
         lo = ratio
         lo_cycle = cycle
 
-    # λ* lies in [lo, hi) and distinct ratios differ by ≥ gap, so λ* = lo
-    # provided lo is a genuine cycle ratio; certify there is nothing above.
+    # λ* lies in [lo, hi), hi - lo < gap, and distinct ratios differ by
+    # ≥ gap, so λ* = lo provided lo is a genuine cycle ratio; certify
+    # there is nothing above.
     if find_positive_cycle(scaled, lo.numerator, lo.denominator) is not None:
         raise SolverError(  # pragma: no cover - contradicts gap argument
             "positive cycle above the converged lower bound"

@@ -6,8 +6,10 @@ the MCRP engine registry:
 * :mod:`repro.service.job` — content-addressed jobs: canonical graph
   serialization → stable SHA-256 digest, plus the structured
   :class:`JobOutcome` every layer speaks;
-* :mod:`repro.service.cache` — the two-tier result cache (in-memory
-  LRU + on-disk JSON store, e.g. under ``results/cache/``);
+* :mod:`repro.service.cache` — the two-tier result cache: in-memory
+  LRU in front of any :class:`~repro.distributed.backends.CacheBackend`
+  (disk JSON store under ``results/cache/``, WAL SQLite, or a remote
+  coordinator's cache over HTTP);
 * :mod:`repro.service.pool` — :class:`SolverPool`, the chunked,
   fault-contained ``ProcessPoolExecutor`` fan-out with per-worker graph
   reuse;
@@ -17,6 +19,10 @@ the MCRP engine registry:
 
 ``repro batch`` and ``repro serve-stats`` (CLI) and the
 ``service@<engine>`` bench methods are thin wrappers over this package.
+The multi-host pieces — pluggable cache/queue backends, the HTTP
+coordinator and the worker daemon — live in :mod:`repro.distributed`;
+``ThroughputService(cache=<backend>, queue=<backend>)`` plugs them in
+(see ``docs/service.md``).
 """
 
 from repro.service.cache import CacheStats, ResultCache

@@ -1,31 +1,47 @@
-"""Two-tier result cache: in-memory LRU in front of an on-disk JSON store.
+"""Two-tier result cache composed from pluggable backends.
 
-Tier 1 is a thread-safe LRU of outcome dicts keyed by job digest; tier 2
-(optional) is one JSON file per digest under ``<root>/<digest[:2]>/``,
-written atomically (temp file + ``os.replace``), so concurrent batch
-runs sharing ``results/cache/`` never observe torn entries. A disk hit
-is promoted into the memory tier.
+:class:`ResultCache` keeps the serving layer's original contract — a
+thread-safe in-memory LRU tier in front of an optional persistent
+tier, with disk hits promoted into memory — but both tiers are now
+:class:`~repro.distributed.backends.CacheBackend` instances. The
+historical constructor (``memory_size=`` / ``disk_root=``) builds the
+same layout as ever (atomic JSON files under ``<root>/<digest[:2]>/``,
+byte-identical on disk); ``backend=`` swaps the persistent tier for
+any other backend — a WAL-mode SQLite file
+(:class:`SQLiteCacheBackend`) or a remote coordinator's cache
+(:class:`HTTPCacheBackend`):
+
+    ResultCache(disk_root="results/cache")            # classic layout
+    ResultCache(backend=SQLiteCacheBackend("c.db"))   # one shared file
+    ResultCache(backend=HTTPCacheBackend(url))        # remote cache
 
 Only deterministic outcomes belong here — the service layer filters on
-:attr:`JobOutcome.cacheable` before calling :meth:`ResultCache.put`.
+:attr:`JobOutcome.cacheable` before calling :meth:`ResultCache.put`,
+and the backends themselves refuse budget-dependent statuses as a
+second line of defense.
 """
 
 from __future__ import annotations
 
-import copy
-import json
-import os
-import tempfile
 import threading
-from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from repro.distributed.backends import (
+    CacheBackend,
+    DiskCacheBackend,
+    MemoryCacheBackend,
+)
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters across both tiers."""
+    """Hit/miss counters across both tiers.
+
+    ``disk_hits`` counts *persistent-tier* hits whatever the backend —
+    the name is kept for compatibility with existing dashboards.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
@@ -46,25 +62,37 @@ class CacheStats:
 
 
 class ResultCache:
-    """Digest-addressed outcome store with LRU memory and JSON disk tiers.
+    """Digest-addressed outcome store: LRU memory tier + backend tier.
 
     Parameters
     ----------
     memory_size:
         Maximum entries held in the LRU tier (0 disables it).
     disk_root:
-        Directory of the persistent tier; ``None`` disables it. Created
+        Directory for the classic persistent tier (a
+        :class:`DiskCacheBackend`); ``None`` disables it. Created
         lazily on the first put.
+    backend:
+        Any :class:`CacheBackend` to use as the persistent tier
+        instead; mutually exclusive with ``disk_root``.
     """
 
     def __init__(
         self,
         memory_size: int = 1024,
         disk_root: Optional[Union[str, Path]] = None,
+        backend: Optional[CacheBackend] = None,
     ):
+        if disk_root is not None and backend is not None:
+            raise ValueError("pass disk_root or backend, not both")
+        if disk_root is not None:
+            backend = DiskCacheBackend(disk_root)
         self.memory_size = memory_size
-        self.disk_root = Path(disk_root) if disk_root is not None else None
-        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.backend = backend
+        self.disk_root = (
+            backend.root if isinstance(backend, DiskCacheBackend) else None
+        )
+        self._memory = MemoryCacheBackend(memory_size)
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -77,21 +105,20 @@ class ResultCache:
         self, digest: str
     ) -> Tuple[Optional[Dict[str, Any]], str]:
         """Like :meth:`get`, plus the tier that answered: ``"memory"``,
-        ``"disk"`` or ``""`` (miss)."""
-        with self._lock:
-            entry = self._memory.get(digest)
-            if entry is not None:
-                self._memory.move_to_end(digest)
-                self.stats.memory_hits += 1
-                # Deep copy: outcomes carry nested dicts (K vectors);
-                # a caller mutating its result must not poison the tier.
-                return copy.deepcopy(entry), "memory"
-        entry = self._disk_get(digest)
+        the backend's name (``"disk"``, ``"sqlite"``, ``"http"``) or
+        ``""`` (miss)."""
+        entry = self._memory.get(digest)
         if entry is not None:
             with self._lock:
-                self.stats.disk_hits += 1
-                self._memory_put(digest, entry)
-            return copy.deepcopy(entry), "disk"
+                self.stats.memory_hits += 1
+            return entry, "memory"
+        if self.backend is not None:
+            entry = self.backend.get(digest)
+            if entry is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                self._memory.put(digest, entry)  # promote
+                return entry, self.backend.name
         with self._lock:
             self.stats.misses += 1
         return None, ""
@@ -100,77 +127,27 @@ class ResultCache:
         """Store an outcome dict in every enabled tier."""
         with self._lock:
             self.stats.puts += 1
-            self._memory_put(digest, outcome)
-        self._disk_put(digest, outcome)
+        self._memory.put(digest, outcome)
+        if self.backend is not None:
+            self.backend.put(digest, outcome)
 
     def __contains__(self, digest: str) -> bool:
-        with self._lock:
-            if digest in self._memory:
-                return True
-        return self._disk_path(digest) is not None and \
-            self._disk_path(digest).exists()
+        if self._memory.contains(digest):
+            return True
+        return self.backend is not None and self.backend.contains(digest)
 
     def clear_memory(self) -> None:
-        """Drop the LRU tier (the disk tier is untouched)."""
-        with self._lock:
-            self._memory.clear()
-
-    # ------------------------------------------------------------------
-    def _memory_put(self, digest: str, outcome: Dict[str, Any]) -> None:
-        if self.memory_size <= 0:
-            return
-        self._memory[digest] = copy.deepcopy(outcome)
-        self._memory.move_to_end(digest)
-        while len(self._memory) > self.memory_size:
-            self._memory.popitem(last=False)
-
-    def _disk_path(self, digest: str) -> Optional[Path]:
-        if self.disk_root is None:
-            return None
-        return self.disk_root / digest[:2] / f"{digest}.json"
-
-    def _disk_get(self, digest: str) -> Optional[Dict[str, Any]]:
-        path = self._disk_path(digest)
-        if path is None:
-            return None
-        try:
-            return json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
-            return None
-
-    def _disk_put(self, digest: str, outcome: Dict[str, Any]) -> None:
-        path = self._disk_path(digest)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        blob = json.dumps(outcome, sort_keys=True, indent=1)
-        fd, tmp = tempfile.mkstemp(
-            prefix=f".{digest[:8]}-", suffix=".tmp", dir=str(path.parent)
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        """Drop the LRU tier (the persistent tier is untouched)."""
+        self._memory.clear()
 
     # ------------------------------------------------------------------
     def disk_entries(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
         """Iterate ``(digest, outcome)`` over the persistent tier."""
-        if self.disk_root is None or not self.disk_root.exists():
-            return
-        for path in sorted(self.disk_root.glob("*/*.json")):
-            try:
-                yield path.stem, json.loads(path.read_text())
-            except (json.JSONDecodeError, OSError):
-                continue
+        if self.backend is None:
+            return iter(())
+        return self.backend.entries()
 
     def disk_size_bytes(self) -> int:
-        if self.disk_root is None or not self.disk_root.exists():
+        if self.backend is None:
             return 0
-        return sum(
-            p.stat().st_size for p in self.disk_root.glob("*/*.json")
-        )
+        return self.backend.size_bytes()

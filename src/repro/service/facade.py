@@ -33,6 +33,7 @@ itself never blocks on anything but its own pool.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -60,6 +61,7 @@ class ServiceStats:
     wall_time: float = 0.0
     cache: Dict[str, int] = field(default_factory=dict)
     pool: Optional[Dict[str, int]] = None
+    queue: Optional[Dict[str, Any]] = None
 
     @property
     def cache_hits(self) -> int:
@@ -77,6 +79,7 @@ class ServiceStats:
             "wall_time": self.wall_time,
             "cache": dict(self.cache),
             "pool": dict(self.pool) if self.pool else None,
+            "queue": dict(self.queue) if self.queue else None,
         }
 
 
@@ -101,8 +104,28 @@ class ThroughputService:
         the caller keeps ownership unless the service is closed.
     cache:
         A :class:`ResultCache`; default is a memory-only LRU. Pass
-        ``ResultCache(disk_root=...)`` for the persistent tier, or
-        ``ResultCache(memory_size=0)`` to disable caching.
+        ``ResultCache(disk_root=...)`` for the persistent tier,
+        ``ResultCache(memory_size=0)`` to disable caching, or a bare
+        :class:`~repro.distributed.backends.CacheBackend` (it is
+        wrapped in a ``ResultCache`` with the default memory tier) —
+        e.g. ``HTTPCacheBackend(url)`` for a remote shared cache.
+    queue:
+        A :class:`~repro.distributed.jobqueue.JobQueue` (or a
+        :class:`~repro.distributed.client.CoordinatorClient`). When
+        set, cache misses are *enqueued* instead of solved here, and
+        the service polls for their results — the workers are whoever
+        drains that queue (``repro worker``). ``workers``/``pool``
+        are ignored in queue mode.
+    queue_poll / queue_wait_timeout:
+        Poll interval while waiting on queued results, and an optional
+        overall wait bound (``None`` waits forever; on expiry the
+        remaining jobs report ``ERROR``). Dead-lettered jobs surface
+        as ``ERROR`` outcomes from the queue itself, so a batch always
+        completes.
+    queue_inline_drain:
+        When ``True`` the service leases and solves jobs itself while
+        waiting — queue semantics without external workers (or
+        cooperating with them).
     """
 
     def __init__(
@@ -119,7 +142,11 @@ class ThroughputService:
         mp_context: Union[str, Any, None] = None,
         chunk_size: Optional[int] = None,
         job_timeout: Optional[float] = None,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[Any] = None,
+        queue: Optional[Any] = None,
+        queue_poll: float = 0.05,
+        queue_wait_timeout: Optional[float] = None,
+        queue_inline_drain: bool = False,
     ):
         self.engine = engine
         self.fallback_engines = tuple(fallback_engines)
@@ -127,7 +154,15 @@ class ThroughputService:
         self.warm_start = warm_start
         self.max_rounds = max_rounds
         self.time_budget = time_budget
-        self.cache = cache if cache is not None else ResultCache()
+        if cache is None:
+            cache = ResultCache()
+        elif not isinstance(cache, ResultCache):
+            cache = ResultCache(backend=cache)  # bare CacheBackend
+        self.cache = cache
+        self._queue = queue
+        self._queue_poll = queue_poll
+        self._queue_wait_timeout = queue_wait_timeout
+        self._queue_inline_drain = queue_inline_drain
         self._pool = pool
         self._owns_pool = pool is None
         self._workers = workers
@@ -193,7 +228,11 @@ class ThroughputService:
         miss_jobs = list(unique.values())
         results = self._solve_payloads([j.payload() for j in miss_jobs])
         for job, result in zip(miss_jobs, results):
-            outcome = JobOutcome.from_solve(job, result)
+            # A queue-routed job answered by the coordinator's cache
+            # arrives tagged cache_hit="remote"; local solves carry "".
+            outcome = JobOutcome.from_solve(
+                job, result, cache_hit=result.get("cache_hit", "")
+            )
             if outcome.cacheable:
                 stored = outcome.to_json_dict()
                 stored["cache_hit"] = ""
@@ -209,7 +248,12 @@ class ThroughputService:
         final = [o for o in outcomes if o is not None]
         if len(final) != len(jobs):  # pragma: no cover - invariant
             raise RuntimeError("service lost track of a job outcome")
-        self._record(final, len(miss_jobs), time.perf_counter() - started)
+        # Queue-routed jobs answered by the coordinator's cache
+        # ("remote") were never solved for us — don't count them.
+        solves = sum(
+            1 for result in results if not result.get("cache_hit")
+        )
+        self._record(final, solves, time.perf_counter() - started)
         return final
 
     def map(
@@ -252,6 +296,18 @@ class ThroughputService:
             self._record([outcome], 0, 0.0)
             done.set_result(outcome)
             return done
+        if self._queue is not None:
+            # Queue mode: enqueue-and-poll runs on a waiter thread so
+            # the returned future stays non-blocking.
+            def _via_queue() -> None:
+                try:
+                    result = self._solve_payloads([job.payload()])[0]
+                except Exception as exc:  # noqa: BLE001 - surface it
+                    result = {"status": "ERROR", "error": repr(exc)}
+                done.set_result(self._finish_async(job, result))
+
+            threading.Thread(target=_via_queue, daemon=True).start()
+            return done
         pool = self._ensure_pool()
         if pool is None:
             outcome = self._finish_async(job, solve_kiter_payload(job.payload()))
@@ -272,12 +328,18 @@ class ThroughputService:
     def _finish_async(
         self, job: ThroughputJob, result: Mapping[str, Any]
     ) -> JobOutcome:
-        outcome = JobOutcome.from_solve(job, result)
+        outcome = JobOutcome.from_solve(
+            job, result, cache_hit=result.get("cache_hit", "")
+        )
         if outcome.cacheable:
             stored = outcome.to_json_dict()
             stored["cache_hit"] = ""
             self.cache.put(job.digest, stored)
-        self._record([outcome], 1, outcome.wall_time)
+        # A queue-routed job the coordinator answered from its cache
+        # (cache_hit="remote") was not solved on our behalf.
+        self._record(
+            [outcome], 0 if outcome.cache_hit else 1, outcome.wall_time
+        )
         return outcome
 
     # ------------------------------------------------------------------
@@ -299,10 +361,145 @@ class ThroughputService:
     ) -> List[Dict[str, Any]]:
         if not payloads:
             return []
+        if self._queue is not None:
+            return self._solve_via_queue(payloads)
         pool = self._ensure_pool()
         if pool is not None:
             return pool.solve(payloads)
         return [solve_kiter_payload(p) for p in payloads]
+
+    def _solve_via_queue(
+        self, payloads: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Enqueue the payloads and poll the queue for their outcomes.
+
+        Dead-lettered jobs come back as synthesized ``ERROR`` outcomes
+        from the queue itself, so this loop always terminates once
+        every job reaches a terminal state; ``queue_wait_timeout``
+        additionally bounds the wait against a fully stalled fabric
+        (no live workers at all).
+        """
+        queue = self._queue
+        digests = [p["digest"] for p in payloads]
+        deadline = (
+            None if self._queue_wait_timeout is None
+            else time.monotonic() + self._queue_wait_timeout
+        )
+
+        def out_of_time() -> bool:
+            return deadline is not None and time.monotonic() > deadline
+
+        def stall_outcome(detail: str) -> Dict[str, Any]:
+            return {
+                "status": "ERROR", "error": detail,
+                "engine_used": "", "fallback": False,
+                "wall_time": 0.0, "worker_pid": 0,
+            }
+
+        results: Dict[str, Dict[str, Any]] = {}
+        answered_remotely: set = set()
+
+        # Enqueue — one round trip when the queue speaks batches.
+        # Submits are idempotent (digest dedup), so a transient
+        # transport fault is answered by backing off and resubmitting
+        # everything rather than failing the batch.
+        submit_many = getattr(queue, "submit_many", None)
+        backoff = self._queue_poll
+        while True:
+            try:
+                if submit_many is not None:
+                    receipts = submit_many(payloads)
+                else:
+                    receipts = [
+                        queue.submit(p, digest=p["digest"])
+                        for p in payloads
+                    ]
+                break
+            except Exception as exc:  # noqa: BLE001 - outlive a blip
+                if out_of_time():
+                    detail = stall_outcome(
+                        f"could not enqueue within "
+                        f"{self._queue_wait_timeout}s: {exc!r}"
+                    )
+                    return [dict(detail) for _ in digests]
+                time.sleep(backoff)
+                backoff = min(5.0, backoff * 2)
+        for payload, receipt in zip(payloads, receipts):
+            # "cached": the coordinator's cache short-circuited the
+            # job; "done": the queue already finished an identical one.
+            # Either way nothing solved *for us* — a remote hit.
+            if getattr(receipt, "state", "") in ("cached", "done"):
+                answered_remotely.add(payload["digest"])
+
+        fetch = getattr(queue, "results_fetch", None)
+        pending = list(digests)
+        backoff = self._queue_poll
+        while pending:
+            try:
+                if fetch is not None:  # one round trip per poll
+                    found = fetch(pending)
+                else:
+                    found = {d: queue.result(d) for d in pending}
+            except Exception:  # noqa: BLE001 - poll again after a blip
+                if out_of_time():
+                    for digest in pending:
+                        results[digest] = stall_outcome(
+                            f"queue wait exceeded "
+                            f"{self._queue_wait_timeout}s "
+                            "(coordinator unreachable)"
+                        )
+                    break
+                time.sleep(backoff)
+                backoff = min(5.0, backoff * 2)
+                continue
+            backoff = self._queue_poll
+            for digest, outcome in found.items():
+                if outcome is not None:
+                    if digest in answered_remotely:
+                        outcome["cache_hit"] = "remote"
+                    results[digest] = outcome
+            pending = [d for d in pending if d not in results]
+            if not pending:
+                break
+            if self._queue_inline_drain and self._try_drain_one():
+                continue  # solved something: re-poll immediately
+            if out_of_time():
+                for digest in pending:
+                    results[digest] = stall_outcome(
+                        f"queue wait exceeded "
+                        f"{self._queue_wait_timeout}s "
+                        "(no worker answered)"
+                    )
+                break
+            time.sleep(self._queue_poll)
+        return [results[digest] for digest in digests]
+
+    def _try_drain_one(self) -> bool:
+        try:
+            return self._drain_one()
+        except Exception:  # noqa: BLE001 - drain is opportunistic
+            return False
+
+    def _drain_one(self) -> bool:
+        """Lease and solve one queued job inline (cooperative drain)."""
+        jobs = self._queue.lease(
+            1, worker_id=f"service-inline-{os.getpid()}"
+        )
+        if not jobs:
+            return False
+        job = jobs[0]
+        try:
+            outcome = dict(solve_kiter_payload(job.payload))
+        except Exception as exc:  # noqa: BLE001 - e.g. malformed graph
+            # A poisoned payload (possibly someone else's on a shared
+            # queue) must not abort this batch: nack it back, exactly
+            # like the worker daemon does, and let bounded retries
+            # dead-letter it.
+            self._queue.nack(job.job_id, job.token, error=repr(exc))
+            return True
+        outcome.setdefault("digest", job.digest)
+        self._queue.ack(job.job_id, job.token, outcome)
+        return True
 
     def _record(
         self, outcomes: List[JobOutcome], solves: int, wall: float
@@ -334,6 +531,11 @@ class ThroughputService:
                     if self._pool is not None else None
                 ),
             )
+        if self._queue is not None:
+            try:
+                snapshot.queue = self._queue.stats()
+            except Exception:  # noqa: BLE001 - stats stay best-effort
+                snapshot.queue = None
         return snapshot
 
     def cancel(self) -> None:

@@ -43,6 +43,45 @@ def test_engine_guide_names_every_registered_engine():
         assert f"`{name}`" in readme, f"README engine table must list {name}"
 
 
+def test_service_guide_backend_tables_match_registries():
+    """docs/service.md's backend matrix is pinned to the live
+    registries — a renamed or added backend must break this test, not
+    silently go stale."""
+    from repro.distributed import CACHE_BACKENDS, QUEUE_BACKENDS
+
+    guide = (ROOT / "docs" / "service.md").read_text()
+    for name in CACHE_BACKENDS:
+        row = re.search(rf"^\| `{re.escape(name)}` \|.*$", guide,
+                        re.MULTILINE)
+        assert row, f"docs/service.md cache table must list {name}"
+    for name in QUEUE_BACKENDS:
+        assert f"`{name}`" in guide, (
+            f"docs/service.md queue table must list {name}"
+        )
+    # every CLI verb of the fabric is documented
+    for command in ("repro serve", "repro worker",
+                    "repro batch", "repro serve-stats"):
+        assert command.split()[1] in guide, (
+            f"docs/service.md must document `{command}`"
+        )
+
+
+def test_service_guide_is_linked_from_readme_and_architecture():
+    readme = (ROOT / "README.md").read_text()
+    architecture = (ROOT / "ARCHITECTURE.md").read_text()
+    assert "docs/service.md" in readme
+    assert "docs/service.md" in architecture
+
+
+def test_cli_distributed_verbs_exist():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    text = parser.format_help()
+    for verb in ("serve", "worker", "batch", "serve-stats"):
+        assert verb in text
+
+
 def test_architecture_engine_table_matches_registry():
     from repro.mcrp import all_engines
 

@@ -41,6 +41,18 @@ class TestSimpleCycles:
         assert result.cycle_arcs == [0]
 
     @pytest.mark.parametrize("engine", ENGINES)
+    def test_unit_self_arc_at_the_bisection_gap_boundary(self, engine):
+        # Regression: cost 1 / transit 1 makes Lawler's candidate gap
+        # (1/B² = 1) exactly equal to the initial search interval; the
+        # bisection used to stop at hi - lo == gap with lo still 0 and
+        # then die certifying. λ* = 1 must come out of every engine.
+        g = BiValuedGraph(3)
+        g.add_arc(1, 1, 1, Fraction(1))
+        result = engine(g)
+        assert result.ratio == 1
+        assert result.cycle_nodes == [1]
+
+    @pytest.mark.parametrize("engine", ENGINES)
     def test_two_rings_max_wins(self, engine):
         g = BiValuedGraph(4)
         g.add_arc(0, 1, 1, 1)

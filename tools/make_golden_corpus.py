@@ -11,7 +11,15 @@ Usage::
 
     PYTHONPATH=src python tools/make_golden_corpus.py
 
-Rewrites ``tests/data/*.json`` and ``tests/data/golden_index.json``.
+Rewrites ``tests/data/*.json`` and ``tests/data/golden_index.json``,
+plus the **job-digest stability fixture**
+``tests/data/job_digests.json``: the canonical-JSON job digest of every
+corpus graph (and two inline reference graphs) under the service's
+default solve parameters. Remote cache keys must stay byte-stable
+across versions and platforms — ``tests/test_job_digests.py`` fails if
+current code computes anything else. ``--digests-only`` regenerates
+just that fixture (after an *intentional* ``CACHE_SCHEMA_VERSION``
+bump) without re-verifying the corpus.
 """
 
 from __future__ import annotations
@@ -74,8 +82,77 @@ CASES = [
 
 UNFOLDED = 6  # how many leading cases the unfolding oracle re-verifies
 
+#: The solve parameters every pinned digest assumes — kept equal to
+#: :class:`repro.service.facade.ThroughputService`'s defaults.
+JOB_DEFAULTS = {
+    "engine": "hybrid",
+    "fallback_engines": ["ratio-iteration"],
+    "update_policy": "lcm",
+    "warm_start": True,
+}
+
+
+def inline_reference_graphs():
+    """Corpus-independent graphs whose digests are pinned too.
+
+    Mirrored in ``tests/test_job_digests.py`` so digest stability is
+    checked even in a sparse checkout without the corpus files.
+    """
+    from repro.model import sdf
+
+    return {
+        "inline:two_cycle": sdf(
+            {"A": 1, "B": 1},
+            [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 1)],
+            name="two_cycle",
+        ),
+        "inline:multirate": sdf(
+            {"A": 1, "B": 2},
+            [("A", "B", 2, 3, 0), ("B", "A", 3, 2, 6)],
+            name="multirate",
+        ),
+    }
+
+
+def write_job_digests() -> Path:
+    """Regenerate ``tests/data/job_digests.json`` from current code."""
+    from repro.io import load_graph
+    from repro.service.job import CACHE_SCHEMA_VERSION, ThroughputJob
+
+    options = dict(JOB_DEFAULTS)
+    options["fallback_engines"] = tuple(options["fallback_engines"])
+    jobs = []
+    index = json.loads((DATA / "golden_index.json").read_text())
+    for entry in index:
+        job = ThroughputJob.from_graph(
+            load_graph(DATA / entry["file"]), **options
+        )
+        jobs.append({
+            "source": entry["file"],
+            "graph_digest": job.graph_digest,
+            "digest": job.digest,
+        })
+    for source, graph in inline_reference_graphs().items():
+        job = ThroughputJob.from_graph(graph, **options)
+        jobs.append({
+            "source": source,
+            "graph_digest": job.graph_digest,
+            "digest": job.digest,
+        })
+    path = DATA / "job_digests.json"
+    path.write_text(json.dumps({
+        "cache_schema_version": CACHE_SCHEMA_VERSION,
+        "job_defaults": JOB_DEFAULTS,
+        "jobs": jobs,
+    }, indent=2) + "\n")
+    print(f"wrote {len(jobs)} pinned job digests to {path}")
+    return path
+
 
 def main() -> int:
+    if "--digests-only" in sys.argv[1:]:
+        write_job_digests()
+        return 0
     DATA.mkdir(parents=True, exist_ok=True)
     index = []
     for position, (name, factory) in enumerate(CASES):
@@ -101,6 +178,7 @@ def main() -> int:
         json.dumps(index, indent=2) + "\n"
     )
     print(f"wrote {len(index)} cases to {DATA / 'golden_index.json'}")
+    write_job_digests()
     return 0
 
 
