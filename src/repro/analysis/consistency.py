@@ -14,8 +14,9 @@ arithmetic makes integer overflow impossible (the paper notes it had to
 
 from __future__ import annotations
 
+import weakref
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import InconsistentGraphError, ModelError
 from repro.model.graph import CsdfGraph
@@ -118,6 +119,35 @@ def _verify_balance(graph: CsdfGraph, q: Dict[str, int]) -> None:
             )
     if any(v <= 0 for v in q.values()):
         raise InconsistentGraphError(f"non-positive repetition entries in {q}")
+
+
+#: Per-graph repetition vectors, keyed by the graph *object* (weakly) and
+#: revalidated against the task/buffer counts — graphs are append-only,
+#: so matching counts pin the exact structure the vector was solved for.
+_REPETITION_CACHE: "weakref.WeakKeyDictionary[CsdfGraph, Tuple[Tuple[int, int], Dict[str, int]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def cached_repetition_vector(graph: CsdfGraph) -> Dict[str, int]:
+    """:func:`repetition_vector`, memoized per graph object.
+
+    Solver entry points construct one :class:`KIterMachine` per payload
+    and each re-derives ``q``; under service traffic the same parsed
+    graph (the pool worker's LRU) is solved over and over, so the exact
+    rational propagation is pure re-work. Returns a fresh dict each
+    call — callers may hold it across their own mutations.
+    """
+    counts = (graph.task_count, graph.buffer_count)
+    entry = _REPETITION_CACHE.get(graph)
+    if entry is not None and entry[0] == counts:
+        return dict(entry[1])
+    q = repetition_vector(graph)
+    try:
+        _REPETITION_CACHE[graph] = (counts, dict(q))
+    except TypeError:  # pragma: no cover - non-weakrefable graph stub
+        pass
+    return q
 
 
 def is_consistent(graph: CsdfGraph) -> bool:

@@ -173,6 +173,7 @@ def cmd_batch(args) -> int:
             engine=args.engine,
             fallback_engines=fallbacks,
             time_budget=args.budget,
+            batched=not args.no_batched,
             cache=cache,
             queue=queue,
             queue_poll=args.poll,
@@ -187,6 +188,7 @@ def cmd_batch(args) -> int:
             chunk_size=args.chunk_size,
             job_timeout=args.job_timeout,
             time_budget=args.budget,
+            batched=not args.no_batched,
             cache=cache,
         )
     failures = 0
@@ -224,6 +226,8 @@ def cmd_batch(args) -> int:
     print(f"cache: {stats.cache.get('memory_hits', 0)} memory hit(s), "
           f"{stats.cache.get('disk_hits', 0)} disk hit(s), "
           f"{stats.batch_dedup} batch-dedup, {stats.solves} solve(s)")
+    print(f"routing: {stats.batched} batched solve(s), "
+          f"{stats.fallback} engine fallback(s)")
     if stats.pool:
         print(f"pool: {args.workers} worker(s), "
               f"{stats.pool['chunks']} chunk(s), "
@@ -399,11 +403,13 @@ def cmd_serve_stats(args) -> int:
     statuses: Counter = Counter()
     engines: Counter = Counter()
     entries = 0
+    batched = 0
     solve_time = 0.0
     for _digest, outcome in cache.disk_entries():
         entries += 1
         statuses[outcome.get("status", "?")] += 1
         engines[outcome.get("engine_used") or "?"] += 1
+        batched += bool(outcome.get("batched"))
         solve_time += outcome.get("wall_time", 0.0)
     print(f"cache dir: {args.cache_dir}")
     print(f"entries: {entries} "
@@ -416,6 +422,7 @@ def cmd_serve_stats(args) -> int:
     print("by engine: " + ", ".join(
         f"{engine}={count}" for engine, count in sorted(engines.items())
     ))
+    print(f"batched solves: {batched}/{entries}")
     print(f"solve time banked: {solve_time:.3f}s "
           f"(re-spent on every hit instead of re-solving)")
     return 0
@@ -554,6 +561,8 @@ def cmd_engines(args) -> int:
             flags.append("quadratic")
         if info.vectorized:
             flags.append("vectorized")
+        if info.batched:
+            flags.append("batched")
         print(f"  {info.name:<16} [{', '.join(flags)}]")
         if info.summary:
             print(f"  {'':<16} {info.summary}")
@@ -635,6 +644,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mp-context", default=None,
                    choices=["fork", "spawn", "forkserver"],
                    help="multiprocessing start method")
+    p.add_argument("--no-batched", action="store_true",
+                   help="disable the batched fleet kernel (per-graph "
+                        "solves only; identical results — escape hatch "
+                        "and ablation baseline)")
     p.add_argument("--check", action="store_true",
                    help="verify exact periods against the manifest's "
                         "`period` entries (nonzero exit on mismatch)")

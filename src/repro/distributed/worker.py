@@ -40,6 +40,9 @@ class WorkerStats:
     acks: int = 0
     stale: int = 0
     nacks: int = 0
+    #: Jobs whose solve went through the batched fleet kernel (the
+    #: worker runs the same chunk path as the single-host pool).
+    batched: int = 0
     heartbeats: int = 0
     idle_polls: int = 0
     queue_errors: int = 0
@@ -261,6 +264,8 @@ class Worker:
             ]
         for row, ok in zip(rows, accepted):
             self.stats.jobs += 1
+            if row["outcome"].get("batched"):
+                self.stats.batched += 1
             if not ok:
                 # Redelivered elsewhere after a lease expiry: someone
                 # else's result won — drop ours (no duplicates).

@@ -187,6 +187,60 @@ class ExpansionBlockCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # The serialization-loop copy of the bound graph (plus its
+        # parallel-pair flag), revalidated by task/buffer counts: every
+        # K-Iter round re-derives the same copy otherwise, and under
+        # warm service traffic that rebuild dominates small compiles.
+        self._serialized: Optional[Tuple[Tuple[int, int], object, bool]] = None
+        # Fully assembled compiled constraint graphs keyed by the K
+        # vector (task-name sorted). K-Iter's escalation sequence is
+        # deterministic per graph, so a warm worker re-assembles the
+        # same few (bi_graph, space) pairs for every repeat solve; the
+        # frozen compiled form is immutable and safe to share. Small
+        # LRU — entries are per-K and graphs see a handful of rounds.
+        self.max_compiled = 32
+        self._compiled: "OrderedDict[Tuple[Tuple[str, int], ...], Tuple[object, object]]" = (
+            OrderedDict()
+        )
+        self._compiled_counts: Optional[Tuple[int, int]] = None
+        self.compiled_hits = 0
+        self.compiled_misses = 0
+
+    def compiled_for(self, graph, k_key) -> Optional[Tuple[object, object]]:
+        """The assembled ``(bi_graph, space)`` for this K, if cached."""
+        if self._compiled_counts != (graph.task_count, graph.buffer_count):
+            self.compiled_misses += 1
+            return None
+        built = self._compiled.get(k_key)
+        if built is None:
+            self.compiled_misses += 1
+            return None
+        self._compiled.move_to_end(k_key)
+        self.compiled_hits += 1
+        return built
+
+    def store_compiled(self, graph, k_key, built) -> None:
+        counts = (graph.task_count, graph.buffer_count)
+        if self._compiled_counts != counts:
+            self._compiled.clear()
+            self._compiled_counts = counts
+        self._compiled[k_key] = built
+        while len(self._compiled) > self.max_compiled:
+            self._compiled.popitem(last=False)
+
+    def serialized_for(self, graph) -> Optional[Tuple[object, bool]]:
+        """The cached ``with_serialization_loops()`` copy, if still valid."""
+        entry = self._serialized
+        if entry is not None and entry[0] == (
+            graph.task_count, graph.buffer_count
+        ):
+            return entry[1], entry[2]
+        return None
+
+    def store_serialized(self, graph, work, shared_pairs: bool) -> None:
+        self._serialized = (
+            (graph.task_count, graph.buffer_count), work, shared_pairs
+        )
 
     def get(self, name: str, k_src: int, k_dst: int) -> Optional[ArcBlock]:
         block = self._blocks.get((name, k_src, k_dst))
@@ -371,23 +425,34 @@ def compile_expansion(
     if _np is None:
         return None
     K = validate_periodicity(graph, K)
-    work = graph.with_serialization_loops() if serialize else graph
+    work = None
+    shared_pairs: Optional[bool] = None
+    if serialize and cache is not None:
+        hit = cache.serialized_for(graph)
+        if hit is not None:
+            work, shared_pairs = hit
+    if work is None:
+        work = graph.with_serialization_loops() if serialize else graph
 
     space = ExpandedNodeSpace(
         [(t.name, K[t.name] * t.phase_count) for t in work.tasks()]
     )
 
-    pair_count: Dict[Tuple[str, str], int] = {}
-    for b in work.buffers():
-        key = (b.source, b.target)
-        pair_count[key] = pair_count.get(key, 0) + 1
-    shared_pairs = any(count > 1 for count in pair_count.values())
+    if shared_pairs is None:
+        pair_count: Dict[Tuple[str, str], int] = {}
+        for b in work.buffers():
+            key = (b.source, b.target)
+            pair_count[key] = pair_count.get(key, 0) + 1
+        shared_pairs = any(count > 1 for count in pair_count.values())
+        if serialize and cache is not None:
+            cache.store_serialized(graph, work, shared_pairs)
 
     parts_src: List = []
     parts_dst: List = []
     parts_cost: List = []
     parts_beta: List = []
-    parts_den: List = []
+    den_vals: List[int] = []
+    den_lens: List[int] = []
     for b in work.buffers():
         k_src = K[b.source]
         k_dst = K[b.target]
@@ -408,16 +473,20 @@ def compile_expansion(
         parts_dst.append(block.dst_phase + space.offset(b.target))
         parts_cost.append(block.cost)
         parts_beta.append(block.beta)
-        parts_den.append(
-            _np.full(block.arc_count, den, dtype=_np.int64)
-        )
+        den_vals.append(den)
+        den_lens.append(block.arc_count)
 
     if parts_src:
         srcs = _np.concatenate(parts_src)
         dsts = _np.concatenate(parts_dst)
         costs = _np.concatenate(parts_cost)
         betas = _np.concatenate(parts_beta)
-        denoms = _np.concatenate(parts_den)
+        # One repeat instead of one np.full per buffer: the per-buffer
+        # denominator q̃_t·ĩ_b is constant across a block's arcs.
+        denoms = _np.repeat(
+            _np.asarray(den_vals, dtype=_np.int64),
+            _np.asarray(den_lens, dtype=_np.int64),
+        )
     else:
         srcs = dsts = costs = betas = _np.empty(0, dtype=_np.int64)
         denoms = _np.empty(0, dtype=_np.int64)

@@ -20,7 +20,10 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Dict, List, Mapping, Optional, Set
 
-from repro.analysis.consistency import repetition_vector
+from repro.analysis.consistency import (
+    cached_repetition_vector,
+    repetition_vector,
+)
 from repro.exceptions import BudgetExceededError, DeadlockError, ReproError, SolverError
 from repro.kperiodic.expansion import expansion_cache_for
 from repro.kperiodic.optimality import (
@@ -29,7 +32,13 @@ from repro.kperiodic.optimality import (
     update_periodicity,
 )
 from repro.kperiodic.schedule import KPeriodicSchedule
-from repro.kperiodic.solver import KPeriodicResult, min_period_for_k
+from repro.kperiodic.solver import (
+    KPeriodicResult,
+    PreparedMinPeriod,
+    min_period_for_k,
+    prepare_min_period,
+    solve_prepared_min_period,
+)
 from repro.utils.rational import lcm_list
 from repro.utils.timing import TimeBudget
 
@@ -80,6 +89,184 @@ class KIterResult:
     def engine_iteration_count(self) -> int:
         """Total engine probes/jumps across all rounds (ablation metric)."""
         return sum(r.engine_iterations for r in self.rounds)
+
+
+class KIterMachine:
+    """Stepping form of Algorithm 1: one graph, advanced one round at a time.
+
+    The class splits K-Iter's round loop at the engine-solve boundary so
+    the caller chooses *how* each fixed-K instance is solved:
+    :func:`throughput_kiter` solves every prepared round with a per-graph
+    engine, while the fleet driver (:mod:`repro.kperiodic.fleet`) stacks
+    the prepared constraint graphs of many machines and advances them all
+    through one batched kernel pass per round.
+
+    Protocol per round::
+
+        prepared = machine.prepare()        # may raise SolverError/Budget
+        try:
+            result = <solve prepared.bi_graph somehow>
+        except DeadlockError as exc:
+            machine.absorb_deadlock(exc)    # escalates K (may re-raise)
+        else:
+            if machine.absorb(result):      # Theorem 4 certified?
+                final = machine.finalize()
+
+    Escalation, warm-start seeding, the infeasible-round full-q jump and
+    budget/round caps are byte-for-byte the classic loop's semantics —
+    :func:`throughput_kiter` is a thin driver over this machine.
+    """
+
+    def __init__(
+        self,
+        graph,
+        *,
+        max_rounds: int = 100_000,
+        time_budget: Optional[float] = None,
+        initial_k: Optional[Dict[str, int]] = None,
+        update_policy: str = "lcm",
+        warm_start: bool = True,
+        pipeline: str = "direct",
+    ) -> None:
+        self.graph = graph
+        self.max_rounds = max_rounds
+        self.update_policy = update_policy
+        self.warm_start = warm_start
+        self.pipeline = pipeline
+        self.q = cached_repetition_vector(graph)
+        self.K: Dict[str, int] = (
+            dict(initial_k) if initial_k else {t: 1 for t in self.q}
+        )
+        self.budget = TimeBudget(time_budget, label="K-Iter")
+        # The per-graph block cache makes round i+1 recompute only the
+        # buffers whose endpoint K escalated; it is bound to the graph
+        # object, so pool workers reusing a parsed graph share it too.
+        self.cache = (
+            expansion_cache_for(graph) if pipeline == "direct" else None
+        )
+        self.rounds: List[KIterRound] = []
+        self.final: Optional[KPeriodicResult] = None
+        self._rounds_left = max_rounds
+        self._infeasible_rounds = 0
+        self._prev_lambda: Optional[Fraction] = None
+        self._prev_lcm: Optional[int] = None
+        self._lcm_k: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.final is not None
+
+    def prepare(self) -> PreparedMinPeriod:
+        """Set up the next round's fixed-K constraint graph."""
+        if self._rounds_left <= 0:
+            raise SolverError(f"K-Iter exceeded {self.max_rounds} rounds")
+        self._rounds_left -= 1
+        self.budget.check()
+        self._lcm_k = lcm_list(self.K.values())
+        seed = None
+        if (
+            self.warm_start
+            and self._prev_lambda is not None
+            and self._prev_lcm is not None
+            and self._lcm_k > self._prev_lcm
+        ):
+            # Deliberately NOT rescaled to the new lcm: Ω = λ*/lcm(K)
+            # is non-increasing along K escalation (the K-periodic
+            # schedule class only grows), so Ω_prev·lcm_new would
+            # overshoot the new λ* and cost restart probes. The raw
+            # previous λ* stays below the new λ* whenever lcm grew
+            # (the guard above); it beats the utilization seed exactly
+            # when the certified period exceeded the utilization bound
+            # by more than the lcm growth factor.
+            seed = self._prev_lambda
+        return prepare_min_period(
+            self.graph, self.K, repetition=self.q, warm_start=seed,
+            pipeline=self.pipeline, expansion_cache=self.cache,
+        )
+
+    def absorb(self, result: KPeriodicResult) -> bool:
+        """Record a solved round; ``True`` when Theorem 4 certified it."""
+        if result.omega == 0:
+            # No constraining circuit at all: unbounded throughput is
+            # trivially optimal for any K.
+            self.rounds.append(
+                KIterRound(dict(self.K), result.omega, set(), True,
+                           result.graph_nodes, result.graph_arcs,
+                           result.engine_iterations)
+            )
+            self.final = result
+            return True
+        passed, qbar = optimality_test(self.q, self.K, result.critical_tasks)
+        self.rounds.append(
+            KIterRound(
+                K=dict(self.K),
+                omega=result.omega,
+                critical_tasks=set(result.critical_tasks),
+                passed=passed,
+                graph_nodes=result.graph_nodes,
+                graph_arcs=result.graph_arcs,
+                engine_iterations=result.engine_iterations,
+            )
+        )
+        if passed:
+            self.final = result
+            return True
+        self._prev_lambda = result.omega_expanded
+        self._prev_lcm = self._lcm_k
+        if self.update_policy == "lcm":
+            self.K = update_periodicity(self.K, qbar)
+        elif self.update_policy == "full-q":
+            K = dict(self.K)
+            for t in result.critical_tasks:
+                K[t] = self.q[t]
+            self.K = K
+        else:
+            raise SolverError(
+                f"unknown update_policy {self.update_policy!r} "
+                "(choose 'lcm' or 'full-q')"
+            )
+        return False
+
+    def absorb_deadlock(self, exc: DeadlockError) -> None:
+        """Escalate K along an infeasible circuit (may re-raise ``exc``)."""
+        # The escalation jumps K along the infeasible circuit; the
+        # previous certified λ* is from a much smaller expansion and
+        # no longer a trustworthy seed.
+        self._prev_lambda = self._prev_lcm = None
+        self._infeasible_rounds += 1
+        if self._infeasible_rounds >= 3 and any(
+            self.K[t] < self.q[t] for t in self.q
+        ):
+            # Tightly-bounded graphs can hide dozens of distinct
+            # infeasible circuits; discovering them one MCRP solve at
+            # a time costs more than one full-q round. Record the
+            # escalation and go straight to the exact expansion.
+            self.rounds.append(
+                KIterRound(
+                    K=dict(self.K), omega=None,
+                    critical_tasks=set(exc.critical_tasks or ()),
+                    passed=False, graph_nodes=0, graph_arcs=0,
+                )
+            )
+            self.K = dict(self.q)
+            return
+        self.K = _escalate_infeasible(
+            self.graph, self.q, self.K, exc, self.rounds
+        )
+
+    def finalize(
+        self,
+        *,
+        build_schedule: bool = False,
+        engine: str = "ratio-iteration",
+    ) -> KIterResult:
+        """Package the certified result (requires a prior ``absorb`` → True)."""
+        if self.final is None:
+            raise SolverError("KIterMachine.finalize() before certification")
+        return _finalize(
+            self.graph, self.q, self.K, self.final, self.rounds,
+            build_schedule, engine, self.pipeline, self.cache,
+        )
 
 
 def throughput_kiter(
@@ -152,103 +339,21 @@ def throughput_kiter(
     >>> throughput_kiter(g).period
     Fraction(2, 1)
     """
-    q = repetition_vector(graph)
-    K: Dict[str, int] = dict(initial_k) if initial_k else {t: 1 for t in q}
-    budget = TimeBudget(time_budget, label="K-Iter")
-    # The per-graph block cache makes round i+1 recompute only the
-    # buffers whose endpoint K escalated; it is bound to the graph
-    # object, so pool workers reusing a parsed graph share it too.
-    cache = expansion_cache_for(graph) if pipeline == "direct" else None
-    rounds: List[KIterRound] = []
-    infeasible_rounds = 0
-    prev_lambda: Optional[Fraction] = None
-    prev_lcm: Optional[int] = None
-
-    for _ in range(max_rounds):
-        budget.check()
-        lcm_k = lcm_list(K.values())
-        seed = None
-        if (
-            warm_start
-            and prev_lambda is not None
-            and prev_lcm is not None
-            and lcm_k > prev_lcm
-        ):
-            # Deliberately NOT rescaled to the new lcm: Ω = λ*/lcm(K)
-            # is non-increasing along K escalation (the K-periodic
-            # schedule class only grows), so Ω_prev·lcm_new would
-            # overshoot the new λ* and cost restart probes. The raw
-            # previous λ* stays below the new λ* whenever lcm grew
-            # (the guard above); it beats the utilization seed exactly
-            # when the certified period exceeded the utilization bound
-            # by more than the lcm growth factor.
-            seed = prev_lambda
+    machine = KIterMachine(
+        graph, max_rounds=max_rounds, time_budget=time_budget,
+        initial_k=initial_k, update_policy=update_policy,
+        warm_start=warm_start, pipeline=pipeline,
+    )
+    while True:
+        prepared = machine.prepare()
         try:
-            result: KPeriodicResult = min_period_for_k(
-                graph, K, engine=engine, build_schedule=False, repetition=q,
-                warm_start=seed, pipeline=pipeline, expansion_cache=cache,
-            )
+            result = solve_prepared_min_period(prepared, engine)
         except DeadlockError as exc:
-            # The escalation jumps K along the infeasible circuit; the
-            # previous certified λ* is from a much smaller expansion and
-            # no longer a trustworthy seed.
-            prev_lambda = prev_lcm = None
-            infeasible_rounds += 1
-            if infeasible_rounds >= 3 and any(K[t] < q[t] for t in q):
-                # Tightly-bounded graphs can hide dozens of distinct
-                # infeasible circuits; discovering them one MCRP solve at
-                # a time costs more than one full-q round. Record the
-                # escalation and go straight to the exact expansion.
-                rounds.append(
-                    KIterRound(
-                        K=dict(K), omega=None,
-                        critical_tasks=set(exc.critical_tasks or ()),
-                        passed=False, graph_nodes=0, graph_arcs=0,
-                    )
-                )
-                K = dict(q)
-                continue
-            K = _escalate_infeasible(graph, q, K, exc, rounds)
+            machine.absorb_deadlock(exc)
             continue
-        if result.omega == 0:
-            # No constraining circuit at all: unbounded throughput is
-            # trivially optimal for any K.
-            rounds.append(
-                KIterRound(dict(K), result.omega, set(), True,
-                           result.graph_nodes, result.graph_arcs,
-                           result.engine_iterations)
-            )
-            return _finalize(graph, q, K, result, rounds, build_schedule,
-                             engine, pipeline, cache)
-        passed, qbar = optimality_test(q, K, result.critical_tasks)
-        rounds.append(
-            KIterRound(
-                K=dict(K),
-                omega=result.omega,
-                critical_tasks=set(result.critical_tasks),
-                passed=passed,
-                graph_nodes=result.graph_nodes,
-                graph_arcs=result.graph_arcs,
-                engine_iterations=result.engine_iterations,
-            )
-        )
-        if passed:
-            return _finalize(graph, q, K, result, rounds, build_schedule,
-                             engine, pipeline, cache)
-        prev_lambda = result.omega_expanded
-        prev_lcm = lcm_k
-        if update_policy == "lcm":
-            K = update_periodicity(K, qbar)
-        elif update_policy == "full-q":
-            K = dict(K)
-            for t in result.critical_tasks:
-                K[t] = q[t]
-        else:
-            raise SolverError(
-                f"unknown update_policy {update_policy!r} "
-                "(choose 'lcm' or 'full-q')"
-            )
-    raise SolverError(f"K-Iter exceeded {max_rounds} rounds")
+        if machine.absorb(result):
+            return machine.finalize(build_schedule=build_schedule,
+                                    engine=engine)
 
 
 def _escalate_infeasible(

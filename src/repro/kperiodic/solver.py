@@ -70,6 +70,164 @@ class KPeriodicResult:
         return Fraction(1, 1) / self.omega
 
 
+@dataclass
+class PreparedMinPeriod:
+    """The engine-independent half of a fixed-K solve.
+
+    :func:`prepare_min_period` builds the bi-valued constraint graph and
+    the certified warm-start bound; any MCRP engine — per-graph
+    :func:`~repro.mcrp.registry.solve_mcrp` or the batched fleet kernel
+    (:func:`repro.mcrp.batched.batched_solve_mcrp`) — may then produce
+    the :class:`~repro.mcrp.graph.CycleResult` that
+    :func:`finish_min_period` packages. Splitting the solve this way is
+    what lets the fleet driver run many K-Iter instances in lockstep
+    with *one* stacked MCRP solve per round while sharing every line of
+    the per-graph control flow.
+    """
+
+    graph: object
+    K: Dict[str, int]
+    repetition: Dict[str, int]
+    lcm_k: int
+    bi_graph: BiValuedGraph
+    space: object
+    node_index: Optional[Dict[Tuple[str, int], int]]
+    lower: Fraction
+
+
+def prepare_min_period(
+    graph,
+    K: Mapping[str, int],
+    *,
+    repetition: Optional[Dict[str, int]] = None,
+    warm_start: Optional[Fraction] = None,
+    pipeline: str = "direct",
+    expansion_cache: Optional[ExpansionBlockCache] = None,
+) -> PreparedMinPeriod:
+    """Build the constraint graph and warm-start bound for a fixed K."""
+    if pipeline not in ("direct", "legacy"):
+        raise SolverError(
+            f"unknown pipeline {pipeline!r} (choose 'direct' or 'legacy')"
+        )
+    K = validate_periodicity(graph, K)
+    if repetition is None:
+        repetition = repetition_vector(graph)
+    lcm_k = lcm_list(K.values())
+
+    q_tilde = expanded_repetition_vector(repetition, K)
+    node_index: Optional[Dict[Tuple[str, int], int]] = None
+    space = None
+    if pipeline == "direct":
+        # Assembled-graph memo: a warm worker replays the same
+        # deterministic K sequence on every repeat solve of a graph,
+        # so the frozen compiled form is reused outright — the block
+        # cache below only pays off within one escalation run.
+        built = None
+        k_key = None
+        if expansion_cache is not None:
+            k_key = tuple(sorted(K.items()))
+            built = expansion_cache.compiled_for(graph, k_key)
+        if built is None:
+            built = compile_expansion(
+                graph, K, q_tilde, cache=expansion_cache
+            )
+            if built is not None and k_key is not None:
+                expansion_cache.store_compiled(graph, k_key, built)
+        if built is not None:
+            bi_graph, space = built
+    if space is None:
+        expanded = expand_graph(graph, K)
+        bi_graph, node_index = build_constraint_graph(
+            expanded, q_tilde, serialize=True
+        )
+    # Warm start: the serialization self-loop of task t is a real cycle of
+    # the constraint graph with exact ratio lcm(K)·q_t·Σ_p d(t_p), so the
+    # max over tasks is a certified lower bound on λ* (huge head start —
+    # utilization usually lands within a few jumps of the answer).
+    utilization = max(
+        (repetition[t.name] * t.iteration_duration for t in graph.tasks()),
+        default=0,
+    )
+    # Back the bound off by 1/2 so the utilization cycle itself is still a
+    # *strictly* positive cycle at the starting λ — the engine then jumps
+    # onto it immediately instead of converging without a certificate.
+    lower = Fraction(utilization * lcm_k) - Fraction(1, 2)
+    if warm_start is not None:
+        # Same 1/2 backoff: when the seed *is* λ* (round i's circuit is
+        # still critical at round i+1's scale), the critical cycle stays
+        # strictly positive at the start and is certified in one jump.
+        lower = max(lower, Fraction(warm_start) - Fraction(1, 2))
+    return PreparedMinPeriod(
+        graph=graph, K=dict(K), repetition=dict(repetition), lcm_k=lcm_k,
+        bi_graph=bi_graph, space=space, node_index=node_index, lower=lower,
+    )
+
+
+def annotate_deadlock(
+    prepared: PreparedMinPeriod, exc: DeadlockError
+) -> DeadlockError:
+    """Attach task names of the infeasible circuit for K escalation."""
+    if exc.cycle_nodes and exc.critical_tasks is None:
+        exc.critical_tasks = {
+            prepared.bi_graph.labels[n][0] for n in exc.cycle_nodes
+        }
+    return exc
+
+
+def finish_min_period(
+    prepared: PreparedMinPeriod,
+    result: CycleResult,
+    *,
+    build_schedule: bool = False,
+) -> KPeriodicResult:
+    """Package an engine's :class:`CycleResult` as a fixed-K outcome."""
+    bi_graph = prepared.bi_graph
+    lcm_k = prepared.lcm_k
+    if result.is_acyclic:
+        omega_expanded = Fraction(0)
+        critical_nodes: List[Tuple[str, int]] = []
+    else:
+        omega_expanded = result.ratio
+        critical_nodes = [bi_graph.labels[n] for n in result.cycle_nodes]
+
+    omega = omega_expanded / lcm_k
+    out = KPeriodicResult(
+        K=dict(prepared.K),
+        omega=omega,
+        omega_expanded=omega_expanded,
+        critical_tasks={task for task, _phase in critical_nodes},
+        critical_nodes=critical_nodes,
+        graph_nodes=bi_graph.node_count,
+        graph_arcs=bi_graph.arc_count,
+        engine_iterations=result.iterations,
+    )
+    if build_schedule and omega > 0:
+        node_index = prepared.node_index
+        if node_index is None:
+            # Direct pipeline: the dense (task, phase) → node map is
+            # only materialized when a schedule actually needs it.
+            node_index = prepared.space.node_index()
+        out.schedule = _extract_schedule(
+            prepared.graph, prepared.K, prepared.repetition, bi_graph,
+            node_index, omega_expanded, lcm_k,
+        )
+    return out
+
+
+def solve_prepared_min_period(
+    prepared: PreparedMinPeriod, engine: str = "ratio-iteration"
+) -> KPeriodicResult:
+    """Run one per-graph engine solve over an already prepared instance."""
+    info = get_engine(engine)
+    try:
+        result = solve_mcrp(
+            prepared.bi_graph, info, lower_bound=prepared.lower
+        )
+    except DeadlockError as exc:
+        raise annotate_deadlock(prepared, exc)
+    return finish_min_period(prepared, result)
+
+
 def min_period_for_k(
     graph,
     K: Mapping[str, int],
@@ -134,47 +292,11 @@ def min_period_for_k(
     InconsistentGraphError
         If the graph has no repetition vector.
     """
-    if pipeline not in ("direct", "legacy"):
-        raise SolverError(
-            f"unknown pipeline {pipeline!r} (choose 'direct' or 'legacy')"
-        )
     info = get_engine(engine)
-    K = validate_periodicity(graph, K)
-    if repetition is None:
-        repetition = repetition_vector(graph)
-    lcm_k = lcm_list(K.values())
-
-    q_tilde = expanded_repetition_vector(repetition, K)
-    node_index: Optional[Dict[Tuple[str, int], int]] = None
-    space = None
-    if pipeline == "direct":
-        built = compile_expansion(
-            graph, K, q_tilde, cache=expansion_cache
-        )
-        if built is not None:
-            bi_graph, space = built
-    if space is None:
-        expanded = expand_graph(graph, K)
-        bi_graph, node_index = build_constraint_graph(
-            expanded, q_tilde, serialize=True
-        )
-    # Warm start: the serialization self-loop of task t is a real cycle of
-    # the constraint graph with exact ratio lcm(K)·q_t·Σ_p d(t_p), so the
-    # max over tasks is a certified lower bound on λ* (huge head start —
-    # utilization usually lands within a few jumps of the answer).
-    utilization = max(
-        (repetition[t.name] * t.iteration_duration for t in graph.tasks()),
-        default=0,
+    prepared = prepare_min_period(
+        graph, K, repetition=repetition, warm_start=warm_start,
+        pipeline=pipeline, expansion_cache=expansion_cache,
     )
-    # Back the bound off by 1/2 so the utilization cycle itself is still a
-    # *strictly* positive cycle at the starting λ — the engine then jumps
-    # onto it immediately instead of converging without a certificate.
-    lower = Fraction(utilization * lcm_k) - Fraction(1, 2)
-    if warm_start is not None:
-        # Same 1/2 backoff: when the seed *is* λ* (round i's circuit is
-        # still critical at round i+1's scale), the critical cycle stays
-        # strictly positive at the start and is certified in one jump.
-        lower = max(lower, Fraction(warm_start) - Fraction(1, 2))
     try:
         # The registry pipeline solves per strongly connected component
         # with champion pruning when the engine supports it (acyclic
@@ -182,45 +304,14 @@ def min_period_for_k(
         # ratio are rejected by one oracle probe); the utilization bound
         # seeds the champion, and warm-starts engines that take bounds.
         result: CycleResult = solve_mcrp(
-            bi_graph, info, lower_bound=lower
+            prepared.bi_graph, info, lower_bound=prepared.lower
         )
     except DeadlockError as exc:
         # Annotate the infeasible circuit with task names so K-Iter can
         # escalate K along it (a small-K infeasibility is not necessarily
         # a graph deadlock — see exceptions.DeadlockError).
-        if exc.cycle_nodes and exc.critical_tasks is None:
-            exc.critical_tasks = {
-                bi_graph.labels[n][0] for n in exc.cycle_nodes
-            }
-        raise
-
-    if result.is_acyclic:
-        omega_expanded = Fraction(0)
-        critical_nodes: List[Tuple[str, int]] = []
-    else:
-        omega_expanded = result.ratio
-        critical_nodes = [bi_graph.labels[n] for n in result.cycle_nodes]
-
-    omega = omega_expanded / lcm_k
-    out = KPeriodicResult(
-        K=dict(K),
-        omega=omega,
-        omega_expanded=omega_expanded,
-        critical_tasks={task for task, _phase in critical_nodes},
-        critical_nodes=critical_nodes,
-        graph_nodes=bi_graph.node_count,
-        graph_arcs=bi_graph.arc_count,
-        engine_iterations=result.iterations,
-    )
-    if build_schedule and omega > 0:
-        if node_index is None:
-            # Direct pipeline: the dense (task, phase) → node map is
-            # only materialized when a schedule actually needs it.
-            node_index = space.node_index()
-        out.schedule = _extract_schedule(
-            graph, K, repetition, bi_graph, node_index, omega_expanded, lcm_k
-        )
-    return out
+        raise annotate_deadlock(prepared, exc)
+    return finish_min_period(prepared, result, build_schedule=build_schedule)
 
 
 def _extract_schedule(

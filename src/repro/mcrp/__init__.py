@@ -53,6 +53,11 @@ from repro.mcrp.registry import (
 )
 from repro.mcrp.ratio_iteration import max_cycle_ratio
 from repro.mcrp.bellman import max_cycle_ratio_bellman
+from repro.mcrp.batched import (
+    BatchedCompiledGraph,
+    BatchedOutcome,
+    batched_solve_mcrp,
+)
 from repro.mcrp.karp import (
     max_cycle_mean,
     max_cycle_ratio_karp,
@@ -64,6 +69,8 @@ from repro.mcrp.lawler import max_cycle_ratio_lawler
 from repro.mcrp.decompose import max_cycle_ratio_sccs
 
 __all__ = [
+    "BatchedCompiledGraph",
+    "BatchedOutcome",
     "BiValuedGraph",
     "CompiledGraph",
     "CycleResult",
@@ -71,6 +78,7 @@ __all__ = [
     "FrozenBiValuedGraph",
     "ScaledFractionView",
     "all_engines",
+    "batched_solve_mcrp",
     "compile_graph",
     "engine_names",
     "get_engine",

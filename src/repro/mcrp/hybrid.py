@@ -56,6 +56,7 @@ _MIN_PREFILTER_NODES = 64
     float_prefilter=True,
     supports_lower_bound=True,
     vectorized=True,
+    batched=True,
     summary="vectorized float Howard prefilter + single-probe exact "
             "certification (compiled-core fast path)",
 )

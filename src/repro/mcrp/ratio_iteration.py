@@ -41,6 +41,7 @@ Oracle = Callable[[ScaledGraph, int, int], Optional[List[int]]]
     "ratio-iteration",
     supports_lower_bound=True,
     vectorized=True,
+    batched=True,
     summary="ascending exact cycle-ratio iteration (default engine; "
             "numpy Jacobi oracle when the int64 fast path applies)",
 )

@@ -27,6 +27,12 @@ engine:
     when they are available (``hybrid``, ``karp``, ``ratio-iteration``);
     engines without the flag are pinned to pure-Python loops and serve
     as ablation baselines (``bellman``, ``karp-python``).
+``batched``
+    The engine has a fleet kernel in :mod:`repro.mcrp.batched`: whole
+    chunks of compiled graphs are stacked into one super-CSR and every
+    ``maximum.reduceat`` sweep advances all of them at once. The service
+    pool routes eligible chunks through it; engines without the flag
+    always solve one graph at a time.
 
 Adding an engine
 ----------------
@@ -85,6 +91,7 @@ class EngineInfo:
     supports_lower_bound: bool = False
     quadratic: bool = False
     vectorized: bool = False
+    batched: bool = False
     summary: str = ""
 
 
@@ -106,6 +113,7 @@ def register_engine(
     supports_lower_bound: bool = False,
     quadratic: bool = False,
     vectorized: bool = False,
+    batched: bool = False,
     summary: str = "",
 ):
     """Class-of-service decorator registering an MCRP engine by name."""
@@ -122,6 +130,7 @@ def register_engine(
             supports_lower_bound=supports_lower_bound,
             quadratic=quadratic,
             vectorized=vectorized,
+            batched=batched,
             summary=summary,
         )
         return fn

@@ -41,6 +41,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Union
 
+from repro.kperiodic.fleet import solve_fleet_payloads
 from repro.kperiodic.kiter import solve_kiter_payload
 from repro.model.graph import CsdfGraph
 from repro.service.cache import ResultCache
@@ -57,6 +58,10 @@ class ServiceStats:
     jobs: int = 0
     solves: int = 0
     batch_dedup: int = 0
+    #: Fresh solves answered by the batched fleet kernel / by a
+    #: fallback engine (cache hits never count toward either).
+    batched: int = 0
+    fallback: int = 0
     by_status: Dict[str, int] = field(default_factory=dict)
     wall_time: float = 0.0
     cache: Dict[str, int] = field(default_factory=dict)
@@ -74,6 +79,8 @@ class ServiceStats:
             "jobs": self.jobs,
             "solves": self.solves,
             "batch_dedup": self.batch_dedup,
+            "batched": self.batched,
+            "fallback": self.fallback,
             "cache_hits": self.cache_hits,
             "by_status": dict(self.by_status),
             "wall_time": self.wall_time,
@@ -95,6 +102,12 @@ class ThroughputService:
     update_policy / warm_start / max_rounds / time_budget:
         K-Iter parameters applied to every job unless overridden per
         call (see :func:`repro.kperiodic.kiter.throughput_kiter`).
+    batched:
+        Allow the batched fleet kernel
+        (:func:`repro.kperiodic.fleet.solve_fleet_payloads`) for each
+        job's rounds; ``False`` pins every job to the per-graph path.
+        Pure execution routing — the certified ``λ*`` is identical and
+        job digests do not change.
     workers:
         ``0`` solves inline in this process (no pool, no pickling —
         right for tests and single queries); ``n ≥ 1`` creates a
@@ -137,6 +150,7 @@ class ThroughputService:
         warm_start: bool = True,
         max_rounds: int = 100_000,
         time_budget: Optional[float] = None,
+        batched: bool = True,
         workers: int = 0,
         pool: Optional[SolverPool] = None,
         mp_context: Union[str, Any, None] = None,
@@ -154,6 +168,7 @@ class ThroughputService:
         self.warm_start = warm_start
         self.max_rounds = max_rounds
         self.time_budget = time_budget
+        self.batched = batched
         if cache is None:
             cache = ResultCache()
         elif not isinstance(cache, ResultCache):
@@ -186,6 +201,7 @@ class ThroughputService:
             "warm_start": self.warm_start,
             "max_rounds": self.max_rounds,
             "time_budget": self.time_budget,
+            "batched": self.batched,
         }
         options.update(overrides)
         return ThroughputJob.from_graph(graph, **options)
@@ -310,7 +326,9 @@ class ThroughputService:
             return done
         pool = self._ensure_pool()
         if pool is None:
-            outcome = self._finish_async(job, solve_kiter_payload(job.payload()))
+            outcome = self._finish_async(
+                job, solve_fleet_payloads([job.payload()])[0]
+            )
             done.set_result(outcome)
             return done
         chunk_future = pool.submit_chunk([job.payload()])
@@ -366,7 +384,9 @@ class ThroughputService:
         pool = self._ensure_pool()
         if pool is not None:
             return pool.solve(payloads)
-        return [solve_kiter_payload(p) for p in payloads]
+        # Inline mode runs the same batched fleet driver the pool
+        # workers do — one lockstep kernel pass per K-Iter round.
+        return solve_fleet_payloads(payloads)
 
     def _solve_via_queue(
         self, payloads: List[Dict[str, Any]]
@@ -510,6 +530,14 @@ class ThroughputService:
             self._stats.batch_dedup += sum(
                 1 for o in outcomes if o.cache_hit == "batch"
             )
+            # Routing counters describe fresh solves only: a cached
+            # outcome's flags describe how it was solved *back then*.
+            self._stats.batched += sum(
+                1 for o in outcomes if o.batched and not o.cache_hit
+            )
+            self._stats.fallback += sum(
+                1 for o in outcomes if o.fallback and not o.cache_hit
+            )
             self._stats.wall_time += wall
             for outcome in outcomes:
                 self._stats.by_status[outcome.status] = (
@@ -523,6 +551,8 @@ class ThroughputService:
                 jobs=self._stats.jobs,
                 solves=self._stats.solves,
                 batch_dedup=self._stats.batch_dedup,
+                batched=self._stats.batched,
+                fallback=self._stats.fallback,
                 by_status=dict(self._stats.by_status),
                 wall_time=self._stats.wall_time,
                 cache=self.cache.stats.as_dict(),

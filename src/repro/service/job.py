@@ -16,7 +16,10 @@ or loading it under a different file name, yields the same digest.
 Budgets (``time_budget``, ``max_rounds``) are deliberately **excluded**
 from the digest; in exchange, only deterministic outcomes (``OK`` and
 ``DEADLOCK``) are ever cached — a ``TIMEOUT`` under a small budget must
-not poison a later, better-funded query.
+not poison a later, better-funded query. The ``batched`` toggle is
+excluded too: the batched fleet kernel certifies the same exact ``λ*``
+as the per-graph path, so routing is an execution detail, not part of
+the answer's identity.
 """
 
 from __future__ import annotations
@@ -81,6 +84,9 @@ class ThroughputJob:
     warm_start: bool = True
     max_rounds: int = 100_000
     time_budget: Optional[float] = None
+    #: Allow the batched fleet kernel for this job (execution routing
+    #: only — never part of the digest).
+    batched: bool = True
     label: str = ""
     _digest: Optional[str] = field(default=None, repr=False, compare=False)
     _canonical: Optional[Dict[str, Any]] = field(
@@ -138,6 +144,7 @@ class ThroughputJob:
             "warm_start": self.warm_start,
             "max_rounds": self.max_rounds,
             "time_budget": self.time_budget,
+            "batched": self.batched,
             "digest": self.digest,
             "graph_digest": self.graph_digest,
         }
@@ -162,6 +169,7 @@ class JobOutcome:
     engine: str = ""
     engine_used: str = ""
     fallback: bool = False
+    batched: bool = False
     cache_hit: str = ""
     wall_time: float = 0.0
     worker_pid: int = 0
@@ -198,6 +206,7 @@ class JobOutcome:
             engine=job.engine,
             engine_used=result.get("engine_used", job.engine),
             fallback=result.get("fallback", False),
+            batched=result.get("batched", False),
             cache_hit=cache_hit,
             wall_time=result.get("wall_time", 0.0),
             worker_pid=result.get("worker_pid", 0),
@@ -220,6 +229,7 @@ class JobOutcome:
             "engine": self.engine,
             "engine_used": self.engine_used,
             "fallback": self.fallback,
+            "batched": self.batched,
             "cache_hit": self.cache_hit,
             "wall_time": self.wall_time,
             "worker_pid": self.worker_pid,
@@ -244,6 +254,7 @@ class JobOutcome:
             engine=payload.get("engine", ""),
             engine_used=payload.get("engine_used", ""),
             fallback=payload.get("fallback", False),
+            batched=payload.get("batched", False),
             cache_hit=payload.get("cache_hit", ""),
             wall_time=payload.get("wall_time", 0.0),
             worker_pid=payload.get("worker_pid", 0),

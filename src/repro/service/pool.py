@@ -44,11 +44,14 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-from repro.kperiodic.kiter import solve_kiter_payload
+from repro.kperiodic.fleet import solve_fleet_payloads
 from repro.model.graph import CsdfGraph
 
-#: Per-worker graphs kept parsed between jobs of one batch.
-_GRAPH_CACHE_LIMIT = 32
+#: Per-worker graphs kept parsed between jobs of one batch. Sized above
+#: typical fleet working sets: a cyclic replay of N graphs through an
+#: N-1 LRU evicts every entry just before its reuse (classic sequential
+#: thrash), turning the graph/expansion caches into pure overhead.
+_GRAPH_CACHE_LIMIT = 128
 _GRAPH_CACHE: "OrderedDict[str, CsdfGraph]" = OrderedDict()
 
 
@@ -73,10 +76,20 @@ def _cached_graph(payload: Dict[str, Any]) -> Optional[CsdfGraph]:
 
 
 def solve_chunk(payloads: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
-    """Default worker function: solve each payload with graph reuse."""
-    return [
-        solve_kiter_payload(p, graph=_cached_graph(p)) for p in payloads
-    ]
+    """Default worker function: batched lockstep solve with graph reuse.
+
+    The whole chunk goes through
+    :func:`repro.kperiodic.fleet.solve_fleet_payloads`, which advances a
+    K-Iter machine per payload and answers each lockstep round with one
+    batched MCRP kernel pass over the stacked constraint graphs;
+    ineligible payloads fall back to the per-payload path inside the
+    fleet driver. Graph objects come from the per-worker LRU, so the
+    expansion block caches still carry across jobs.
+    """
+    payloads = list(payloads)
+    return solve_fleet_payloads(
+        payloads, graphs=[_cached_graph(p) for p in payloads]
+    )
 
 
 def _warm_worker() -> None:
@@ -297,7 +310,8 @@ class SolverPool:
     ) -> List[Dict[str, Any]]:
         return [
             {"status": status, "error": error, "engine_used": "",
-             "fallback": False, "wall_time": 0.0, "worker_pid": 0}
+             "fallback": False, "wall_time": 0.0, "worker_pid": 0,
+             "batched": False}
             for _ in payloads
         ]
 

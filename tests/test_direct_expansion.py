@@ -282,7 +282,11 @@ def test_payload_worker_path_shares_blocks_per_graph_object():
     assert second["status"] == "OK"
     assert second["period"] == first["period"]
     assert cache.misses == misses_before  # nothing recomputed
-    assert cache.hits > hits_before
+    # The repeat solve replays the same deterministic K sequence, so it
+    # reuses whole assembled constraint graphs — it never even reaches
+    # the per-buffer block layer (hits stay flat, compiled memo hits).
+    assert cache.hits == hits_before
+    assert cache.compiled_hits > 0
 
 
 def test_payload_rejects_unknown_pipeline():

@@ -94,6 +94,30 @@ def test_architecture_engine_table_matches_registry():
             f"ARCHITECTURE.md row for {info.name} disagrees with the "
             f"registry's vectorized={info.vectorized} capability"
         )
+        assert ("batched" in row.group(0)) == info.batched, (
+            f"ARCHITECTURE.md row for {info.name} disagrees with the "
+            f"registry's batched={info.batched} capability"
+        )
+
+
+def test_engine_guide_batched_section_matches_registry():
+    """docs/engines.md's batched-solving claims are pinned to the live
+    registry and the fleet kernel's oracle table — an engine gaining or
+    losing the `batched` capability must break this test."""
+    from repro.mcrp import all_engines
+    from repro.mcrp.batched import BATCHED_ORACLES
+
+    guide = (ROOT / "docs" / "engines.md").read_text()
+    assert "## Batched solving" in guide
+    batched = {info.name for info in all_engines() if info.batched}
+    assert batched == set(BATCHED_ORACLES), (
+        "registry batched flags disagree with BATCHED_ORACLES"
+    )
+    for name in batched:
+        assert f"`{name}`" in guide
+    # the escape hatch and the fallback contract are documented
+    assert "--no-batched" in guide
+    assert "per-graph" in guide
 
 
 def test_check_links_flags_breakage(tmp_path):

@@ -20,6 +20,16 @@ across versions and platforms — ``tests/test_job_digests.py`` fails if
 current code computes anything else. ``--digests-only`` regenerates
 just that fixture (after an *intentional* ``CACHE_SCHEMA_VERSION``
 bump) without re-verifying the corpus.
+
+``--fleet`` instead regenerates the **fleet fixture**
+``tests/data/fleet/`` + ``fleet_index.json``: ~40 small/medium graphs
+(paper instances plus seeded random SDF/CSDF) sized for the batched
+multi-graph solver's tests and the ``bench_service`` chunk-throughput
+gate. Every fleet period is verified by three independent oracles
+before it is written: K-Iter under two structurally different engines
+(``ratio-iteration``'s SPFA oracle and ``karp``'s cycle-mean table)
+plus symbolic execution when the steady state is tractable (the
+``hybrid`` prefilter pipeline otherwise); the index records which.
 """
 
 from __future__ import annotations
@@ -149,10 +159,94 @@ def write_job_digests() -> Path:
     return path
 
 
+FLEET = Path(__file__).resolve().parent.parent / "tests" / "data" / "fleet"
+
+#: Steady states longer than this make symbolic execution the slow
+#: oracle; those cases cross-check with the hybrid engine instead.
+FLEET_SYMBOLIC_BOUND = 4_000
+
+
+def fleet_cases():
+    """~40 named graph factories: paper instances + seeded random."""
+    from repro.generators import random_connected_sdf
+
+    cases = [
+        ("figure1", figure1_buffer),
+        ("figure2", figure2_graph),
+        ("samplerate", samplerate_converter),
+        ("modem", modem),
+    ]
+    for i in range(12):  # small CSDF (multi-phase, tight q)
+        seed = 1000 + i
+        cases.append((
+            f"csdf{seed}",
+            lambda s=seed: random_live_graph(s, tasks=4 + s % 3),
+        ))
+    for i in range(12):  # small/medium SDF
+        seed = 2000 + i
+        cases.append((
+            f"sdf{seed}",
+            lambda s=seed: random_connected_sdf(s, tasks=6 + s % 5,
+                                                max_q=6),
+        ))
+    for i in range(12):  # medium SDF — where the batched kernel pays
+        seed = 3000 + i
+        cases.append((
+            f"med{seed}",
+            lambda s=seed: random_connected_sdf(s, tasks=10 + s % 8,
+                                                max_q=6),
+        ))
+    return cases
+
+
+def _steady_state_len(graph) -> int:
+    from repro.analysis.consistency import repetition_vector
+
+    q = repetition_vector(graph)
+    return sum(q[t.name] * len(t.durations) for t in graph.tasks())
+
+
+def write_fleet() -> int:
+    """Regenerate ``tests/data/fleet/`` with triple-verified periods."""
+    FLEET.mkdir(parents=True, exist_ok=True)
+    index = []
+    for name, factory in fleet_cases():
+        graph = factory()
+        period = throughput_kiter(graph, engine="ratio-iteration").period
+        cross = throughput_kiter(graph, engine="karp").period
+        if cross != period:
+            print(f"FATAL {name}: ratio-iteration={period} karp={cross}")
+            return 1
+        if _steady_state_len(graph) <= FLEET_SYMBOLIC_BOUND:
+            third_name = "symbolic"
+            third = throughput_symbolic(graph).period
+        else:
+            third_name = "kiter:hybrid"
+            third = throughput_kiter(graph, engine="hybrid").period
+        if third != period:
+            print(f"FATAL {name}: kiter={period} {third_name}={third}")
+            return 1
+        filename = f"fleet_{name}.json"
+        save_graph(graph, FLEET / filename)
+        index.append({
+            "file": filename,
+            "period": [period.numerator, period.denominator],
+            "oracles": ["kiter:ratio-iteration", "kiter:karp", third_name],
+        })
+        print(f"{name:<12} period={period}  [{third_name}]  -> {filename}")
+    (FLEET / "fleet_index.json").write_text(
+        json.dumps(index, indent=2) + "\n"
+    )
+    print(f"wrote {len(index)} cases to {FLEET / 'fleet_index.json'}")
+    return 0
+
+
 def main() -> int:
     if "--digests-only" in sys.argv[1:]:
         write_job_digests()
         return 0
+    if "--fleet" in sys.argv[1:]:
+        return write_fleet()
     DATA.mkdir(parents=True, exist_ok=True)
     index = []
     for position, (name, factory) in enumerate(CASES):
