@@ -36,6 +36,7 @@ from pathlib import Path
 import repro
 from benchmarks.conftest import SCALE, write_artifact
 from repro.bench.reporting import format_table
+from repro.obs.bench import emit_bench
 from repro.distributed import (
     CoordinatorClient,
     CoordinatorServer,
@@ -173,6 +174,26 @@ def test_distributed_replay_beats_single_worker_sequential(
     )
     write_artifact("ablation_distributed.txt", table)
     print("\n" + table)
+    emit_bench(
+        "distributed",
+        [
+            {"name": "distributed_speedup",
+             "value": sequential_s / distributed_s, "unit": "x"},
+            {"name": "replay_speedup",
+             "value": sequential_s / replay_s, "unit": "x"},
+            {"name": "cold_start_seconds", "value": cold_s, "unit": "s"},
+        ],
+        extra={
+            "workers": WORKERS,
+            "requests": len(requests),
+            "unique_graphs": len(unique),
+            "cpu_count": os.cpu_count(),
+            "gate": {"threshold": GATE,
+                     "speedup": sequential_s / distributed_s,
+                     "passed": sequential_s / distributed_s >= GATE},
+        },
+        out_dir=str(Path(repro.__file__).resolve().parents[2]),
+    )
     assert sequential_s / distributed_s >= GATE, (
         f"distributed replay ({distributed_s:.3f}s) is only "
         f"{sequential_s / distributed_s:.2f}x over sequential "

@@ -171,6 +171,8 @@ def test_kiter_escalation_reuses_unchanged_tasks_blocks(results_dir):
 
 def test_direct_round_rebuild_benchmark(benchmark):
     """The BENCH_expansion.json trajectory metric: one warm round rebuild."""
+    from repro.obs.bench import emit_bench
+
     _, _, graph = _corpus_by_expanded_size()[0]
     q = repetition_vector(graph)
     K = dict(q)
@@ -181,3 +183,21 @@ def test_direct_round_rebuild_benchmark(benchmark):
         lambda: compile_expansion(graph, K, q_tilde, cache=cache)
     )
     assert result is not None
+    best = min(
+        _timed(lambda: compile_expansion(graph, K, q_tilde, cache=cache))
+        for _ in range(5)
+    )
+    emit_bench(
+        "expansion",
+        [{"name": "warm_round_rebuild_seconds", "value": best,
+          "unit": "s"}],
+        extra={"graph_tasks": graph.task_count,
+               "timing": {"repeats": 5, "policy": "best"}},
+        out_dir=str(Path(__file__).resolve().parent.parent),
+    )
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -31,6 +31,7 @@ from pathlib import Path
 
 from benchmarks.conftest import SCALE, write_artifact
 from repro.bench.reporting import format_table
+from repro.obs.bench import emit_bench
 from repro.generators.synthetic import graph1, graph2, graph3, graph4, graph5
 from repro.kperiodic import throughput_kiter
 from repro.model import sdf
@@ -237,25 +238,31 @@ def test_batched_fleet_chunk_gate(benchmark):
     print("\n" + table)
 
     gated = {e: speedups[e] for e in FLEET_GATE_ENGINES}
-    payload = {
-        "bench": "batched_fleet_chunk",
-        "fixture": str(FLEET_DIR.relative_to(REPO_ROOT)),
-        "cases": len(cases),
-        "workers": 1,
-        "cpu_count": os.cpu_count(),
-        "timing": {"repeats": FLEET_TIMING_REPEATS, "policy": "best"},
-        "gate": {
-            "engines": list(FLEET_GATE_ENGINES),
-            "threshold": FLEET_GATE_THRESHOLD,
-            "speedups": gated,
-            "passed": all(
-                s >= FLEET_GATE_THRESHOLD for s in gated.values()
-            ),
+    emit_bench(
+        "service",
+        [
+            {"name": f"batched_speedup_{engine}", "value": speedup,
+             "unit": "x"}
+            for engine, speedup in sorted(speedups.items())
+        ],
+        extra={
+            "fixture": str(FLEET_DIR.relative_to(REPO_ROOT)),
+            "cases": len(cases),
+            "workers": 1,
+            "cpu_count": os.cpu_count(),
+            "timing": {"repeats": FLEET_TIMING_REPEATS,
+                       "policy": "best"},
+            "gate": {
+                "engines": list(FLEET_GATE_ENGINES),
+                "threshold": FLEET_GATE_THRESHOLD,
+                "speedups": gated,
+                "passed": all(
+                    s >= FLEET_GATE_THRESHOLD for s in gated.values()
+                ),
+            },
+            "rows": rows,
         },
-        "rows": rows,
-    }
-    (REPO_ROOT / "BENCH_service.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+        out_dir=str(REPO_ROOT),
     )
     for engine, speedup in gated.items():
         assert speedup >= FLEET_GATE_THRESHOLD, (

@@ -5,11 +5,15 @@ Commands
 ``info``        graph summary, repetition vector, liveness, period bounds
 ``throughput``  exact/approximate throughput with a chosen method
 ``batch``       run a manifest of graphs through the throughput service
-                (``--coordinator URL`` routes it through a coordinator)
+                (``--coordinator URL`` routes it through a coordinator;
+                ``--trace out.jsonl`` records a flight-recorder trace)
 ``serve``       run a coordinator node (HTTP cache + job queue)
 ``worker``      run a worker daemon against a coordinator or queue
 ``serve-stats`` summarize the on-disk result cache, or a live
-                coordinator with ``--coordinator URL``
+                coordinator with ``--coordinator URL`` (``--metrics``
+                prints its raw Prometheus scrape)
+``trace``       summarize a flight-recorder trace file (span trees,
+                self/total time, top spans)
 ``convert``     JSON ↔ SDF3-XML ↔ DOT conversion (by file extension)
 ``gantt``       ASCII Gantt of the ASAP or optimal K-periodic schedule
 ``generate``    emit a benchmark graph (paper figures, apps, categories)
@@ -152,6 +156,12 @@ def cmd_batch(args) -> int:
 
     from repro.service import ResultCache, ThroughputService
 
+    if args.trace:
+        # Configure before the service exists so spawned pool children
+        # inherit REPRO_TRACE and append to the same file.
+        from repro.obs.trace import configure_tracing
+
+        configure_tracing(args.trace)
     rows = _load_manifest(args.manifest)
     cache = (
         ResultCache(disk_root=args.cache_dir)
@@ -246,6 +256,9 @@ def cmd_batch(args) -> int:
                 for state in ("pending", "leased", "done", "dead")
             ))
     print(f"wall time: {stats.wall_time:.3f}s")
+    if args.trace:
+        print(f"trace: {args.trace} (summarize with `repro trace "
+              f"{args.trace}`)")
     if args.check:
         checked = sum(1 for _l, _p, e in rows if e is not None)
         print(f"check: {checked - mismatches}/{checked} exact period "
@@ -352,10 +365,29 @@ def cmd_worker(args) -> int:
     return 0
 
 
-def _coordinator_stats(url: str) -> int:
+def cmd_trace(args) -> int:
+    from repro.obs.summary import load_events, render_summary
+
+    events = load_events(args.file)
+    if not events:
+        print(f"no trace events in {args.file}")
+        return 1
+    print(render_summary(
+        events, top=args.top, trace_id=args.trace_id,
+        max_traces=args.max_traces,
+    ))
+    return 0
+
+
+def _coordinator_stats(url: str, *, metrics: bool = False) -> int:
     from repro.distributed import CoordinatorClient
 
-    stats = CoordinatorClient(url).stats()
+    client = CoordinatorClient(url)
+    if metrics:
+        # the raw Prometheus scrape, exactly as a scraper would see it
+        sys.stdout.write(client.metrics_text())
+        return 0
+    stats = client.stats()
     print(f"coordinator: {url}")
     print(f"uptime: {stats.get('uptime', 0):.1f}s, "
           f"jobs submitted: {stats.get('submitted', 0)} "
@@ -398,7 +430,9 @@ def cmd_serve_stats(args) -> int:
     from repro.service import ResultCache
 
     if args.coordinator:
-        return _coordinator_stats(args.coordinator)
+        return _coordinator_stats(args.coordinator, metrics=args.metrics)
+    if args.metrics:
+        raise ReproError("--metrics needs --coordinator URL")
     cache = ResultCache(memory_size=0, disk_root=args.cache_dir)
     statuses: Counter = Counter()
     engines: Counter = Counter()
@@ -663,6 +697,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wait-timeout", type=float, default=None,
                    help="give up on unanswered coordinator jobs after "
                         "this many seconds (default: wait forever)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="record a flight-recorder trace (JSONL spans; "
+                        "summarize with `repro trace FILE`)")
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
@@ -726,7 +763,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--coordinator", default=None, metavar="URL",
                    help="print a live coordinator's /stats instead "
                         "(hit rates, queue depth, worker liveness)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the coordinator's raw /metrics scrape "
+                        "(Prometheus text) instead of the summary")
     p.set_defaults(func=cmd_serve_stats)
+
+    p = sub.add_parser(
+        "trace",
+        help="summarize a flight-recorder trace file",
+    )
+    p.add_argument("file", help="JSONL trace (from `repro batch --trace`)")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the top-spans table")
+    p.add_argument("--trace-id", default=None,
+                   help="show only this trace's span tree")
+    p.add_argument("--max-traces", type=int, default=5,
+                   help="span trees rendered before eliding")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("convert", help="convert between formats")
     p.add_argument("input")

@@ -69,6 +69,18 @@ def http_json(
         )
 
 
+def http_text(url: str, *, timeout: float = 10.0) -> Tuple[int, str]:
+    """One GET returning the raw body as text (``/metrics`` is not JSON)."""
+    request = urllib.request.Request(url, headers={"Accept": "text/plain"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8", "replace")
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise CoordinatorError(f"coordinator unreachable: {url}: {exc}")
+
+
 def http_head(url: str, *, timeout: float = 10.0) -> bool:
     """``True`` iff a HEAD request answers 2xx."""
     request = urllib.request.Request(url, method="HEAD")
@@ -123,6 +135,32 @@ class CoordinatorClient:
     def depth(self) -> Dict[str, int]:
         return self.stats().get("queue", {})
 
+    def metrics_text(self) -> str:
+        """The coordinator's ``/metrics`` scrape (Prometheus text)."""
+        status, body = http_text(
+            f"{self.base_url}/metrics", timeout=self.timeout
+        )
+        if status != 200:
+            raise CoordinatorError(
+                f"coordinator GET /metrics failed ({status}): {body}"
+            )
+        return body
+
+    # -- flight recorder -------------------------------------------------
+    def post_trace(self, events: Sequence[Dict[str, Any]]) -> int:
+        """Ship buffered trace events; returns how many were stored."""
+        body = self._call(
+            "/trace", method="POST", payload={"events": list(events)}
+        )
+        return int(body.get("stored", 0))
+
+    def trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Every event the coordinator holds for one trace id."""
+        body = self._call(f"/trace/{trace_id}", expect=(200, 404))
+        if not isinstance(body, dict):
+            return []
+        return list(body.get("events", []))
+
     # -- enqueue ---------------------------------------------------------
     def submit_many(
         self, payloads: Sequence[Dict[str, Any]]
@@ -164,12 +202,19 @@ class CoordinatorClient:
         results: Sequence[Dict[str, Any]],
         *,
         worker_id: str = "",
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> List[bool]:
-        """Ack a batch: each row is ``{job_id, token, digest, outcome}``."""
-        body = self._call(
-            "/results", method="POST",
-            payload={"worker": worker_id, "results": list(results)},
-        )
+        """Ack a batch: each row is ``{job_id, token, digest, outcome}``.
+
+        ``metrics`` optionally piggybacks the worker's latest registry
+        snapshot for the coordinator's ``/metrics`` aggregation.
+        """
+        payload: Dict[str, Any] = {
+            "worker": worker_id, "results": list(results),
+        }
+        if metrics is not None:
+            payload["metrics"] = metrics
+        body = self._call("/results", method="POST", payload=payload)
         return [bool(flag) for flag in body["accepted"]]
 
     def ack(self, job_id: int, token: str,
@@ -187,12 +232,15 @@ class CoordinatorClient:
         return bool(body["accepted"])
 
     def heartbeat_many(
-        self, leases: Sequence[Dict[str, Any]], *, worker_id: str = ""
+        self, leases: Sequence[Dict[str, Any]], *, worker_id: str = "",
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> List[bool]:
-        body = self._call(
-            "/heartbeat", method="POST",
-            payload={"worker": worker_id, "leases": list(leases)},
-        )
+        payload: Dict[str, Any] = {
+            "worker": worker_id, "leases": list(leases),
+        }
+        if metrics is not None:
+            payload["metrics"] = metrics
+        body = self._call("/heartbeat", method="POST", payload=payload)
         return [bool(flag) for flag in body["accepted"]]
 
     def heartbeat(self, job_id: int, token: str) -> bool:

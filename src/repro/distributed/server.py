@@ -19,6 +19,9 @@ speaking the canonical job JSON:
 ``GET  /results/<digest>`` one outcome (404 while in flight)
 ``POST /results/fetch``    batched outcome poll
 ``GET/PUT /cache/<digest>``the remote-cache surface (HTTPCacheBackend)
+``GET  /metrics``          Prometheus text scrape (own + worker metrics)
+``GET  /trace/<trace_id>`` every stored flight-recorder event of a trace
+``POST /trace``            workers ship buffered trace events here
 ========================  ==============================================
 
 A job is *cached* when the cache already holds its digest (never
@@ -31,9 +34,12 @@ through the queue's result column — including the synthesized
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 import urllib.parse
+import uuid
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -43,6 +49,12 @@ from repro.distributed.backends import (
     storable_outcome,
 )
 from repro.distributed.jobqueue import JobQueue, MemoryJobQueue
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    merge_snapshots,
+    render_prometheus,
+)
 
 
 class Coordinator:
@@ -59,8 +71,22 @@ class Coordinator:
         self.started = time.time()
         self._lock = threading.Lock()
         self._workers: Dict[str, Dict[str, Any]] = {}
-        self._submitted = 0
-        self._short_circuited = 0
+        # Coordinator counters live in a registry chained to the
+        # process-global one: stats() and /metrics read the same cells.
+        self._registry = MetricsRegistry(parent=REGISTRY)
+        self._submitted_cell = self._registry.counter(
+            "repro_coordinator_jobs_submitted_total").labels()
+        self._short_circuit_cell = self._registry.counter(
+            "repro_coordinator_cache_short_circuits_total").labels()
+        # Flight recorder: every trace event this node saw — its own
+        # enqueue/result milestones plus whatever workers POST /trace —
+        # bounded so a long-lived coordinator cannot grow without limit.
+        self._trace_events: deque = deque(maxlen=50_000)
+        #: digest → the submitting client's trace context, so the
+        #: result milestone can parent under the client's job span.
+        self._job_traces: Dict[str, Dict[str, Any]] = {}
+        #: worker id → latest shipped metric snapshot (heartbeat/report).
+        self._worker_metrics: Dict[str, Dict[str, Any]] = {}
 
     # -- worker liveness -------------------------------------------------
     def _saw_worker(self, worker_id: str, **bumps: int) -> None:
@@ -94,8 +120,7 @@ class Coordinator:
                     {"digest": "", "state": "rejected", "job_id": 0}
                 )
                 continue
-            with self._lock:
-                self._submitted += 1
+            self._submitted_cell.inc()
             if digest in seen:
                 receipts.append(
                     {"digest": digest, "state": "duplicate", "job_id": 0}
@@ -103,18 +128,69 @@ class Coordinator:
                 continue
             seen.add(digest)
             if self.cache.contains(digest):
-                with self._lock:
-                    self._short_circuited += 1
+                self._short_circuit_cell.inc()
+                self._milestone(payload, "coordinator.enqueue",
+                                digest, state="cached")
                 receipts.append(
                     {"digest": digest, "state": "cached", "job_id": 0}
                 )
                 continue
             receipt = self.queue.submit(payload, digest=digest)
+            self._milestone(payload, "coordinator.enqueue",
+                            digest, state=receipt.state, remember=True)
             receipts.append({
                 "digest": digest, "state": receipt.state,
                 "job_id": receipt.job_id,
             })
         return receipts
+
+    # -- flight recorder -------------------------------------------------
+    def _milestone(self, payload: Dict[str, Any], name: str,
+                   digest: str, *, state: str = "",
+                   remember: bool = False) -> None:
+        """Synthesize a coordinator trace event for a traced payload.
+
+        Events go straight into this node's trace store (the client may
+        be tracing even when the coordinator process itself is not), so
+        ``GET /trace/<id>`` always covers the coordinator hop.
+        """
+        trace_ctx = payload.get("trace") or {}
+        trace_id = trace_ctx.get("trace_id")
+        if not trace_id:
+            return
+        event = {
+            "trace_id": str(trace_id),
+            "span_id": uuid.uuid4().hex[:16],
+            "parent_id": trace_ctx.get("parent_id"),
+            "name": name,
+            "t0": time.perf_counter(),
+            "wall": time.time(),
+            "dur": 0.0,
+            "pid": os.getpid(),
+            "attrs": {"digest": digest[:12], "state": state},
+        }
+        with self._lock:
+            self._trace_events.append(event)
+            if remember:
+                self._job_traces[digest] = dict(trace_ctx)
+
+    def add_trace_events(self, events: Sequence[Dict[str, Any]]) -> int:
+        """Store worker-shipped trace events (the POST /trace body)."""
+        stored = 0
+        with self._lock:
+            for event in events:
+                if isinstance(event, dict) and event.get("trace_id"):
+                    self._trace_events.append(event)
+                    stored += 1
+        return stored
+
+    def trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Every stored event of one trace, in wall-clock order."""
+        with self._lock:
+            events = [e for e in self._trace_events
+                      if e.get("trace_id") == trace_id]
+        return sorted(events, key=lambda e: (e.get("wall", 0.0),
+                                             e.get("t0", 0.0)))
 
     # -- worker protocol -------------------------------------------------
     def lease(
@@ -134,7 +210,8 @@ class Coordinator:
         ]
 
     def report(
-        self, results: Sequence[Dict[str, Any]], *, worker_id: str = ""
+        self, results: Sequence[Dict[str, Any]], *, worker_id: str = "",
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> List[bool]:
         accepted: List[bool] = []
         for row in results:
@@ -145,8 +222,17 @@ class Coordinator:
             )
             if ok and digest and storable_outcome(outcome):
                 self.cache.put(digest, outcome)
+            if ok and digest:
+                with self._lock:
+                    trace_ctx = self._job_traces.pop(digest, None)
+                if trace_ctx is not None:
+                    self._milestone(
+                        {"trace": trace_ctx}, "coordinator.result",
+                        digest, state=outcome.get("status", ""),
+                    )
             accepted.append(ok)
         self._saw_worker(worker_id, results=len(results))
+        self._store_worker_metrics(worker_id, metrics)
         return accepted
 
     def nack(self, job_id: int, token: str, *, error: str = "",
@@ -155,15 +241,25 @@ class Coordinator:
         return self.queue.nack(job_id, token, error=error)
 
     def heartbeat(
-        self, leases: Sequence[Dict[str, Any]], *, worker_id: str = ""
+        self, leases: Sequence[Dict[str, Any]], *, worker_id: str = "",
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> List[bool]:
         self._saw_worker(worker_id, heartbeats=len(leases))
+        self._store_worker_metrics(worker_id, metrics)
         return [
             self.queue.heartbeat(
                 row.get("job_id", 0), row.get("token", "")
             )
             for row in leases
         ]
+
+    def _store_worker_metrics(
+        self, worker_id: str, metrics: Optional[Dict[str, Any]]
+    ) -> None:
+        if not worker_id or not isinstance(metrics, dict):
+            return
+        with self._lock:
+            self._worker_metrics[worker_id] = metrics
 
     # -- results ---------------------------------------------------------
     def result(self, digest: str) -> Optional[Dict[str, Any]]:
@@ -189,17 +285,43 @@ class Coordinator:
                 }
                 for worker_id, record in self._workers.items()
             }
-            submitted = self._submitted
-            short_circuited = self._short_circuited
+            trace_events = len(self._trace_events)
         return {
             "uptime": round(now - self.started, 3),
-            "submitted": submitted,
-            "cache_short_circuits": short_circuited,
+            "submitted": int(self._submitted_cell.value),
+            "cache_short_circuits": int(self._short_circuit_cell.value),
+            "trace_events": trace_events,
             "cache": self.cache.stats(),
             "queue": self.queue.stats(),
             "dead_letters": self.queue.dead_letters(),
             "workers": workers,
         }
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` scrape: Prometheus text exposition.
+
+        Folds this process's registry, every worker's latest shipped
+        snapshot, and scrape-time gauges (queue depth by state, cache
+        entries, known workers) into one exposition. With in-process
+        workers the worker snapshots overlap the coordinator's own
+        registry — remote daemons, the deployment this surface exists
+        for, each bring a disjoint process registry.
+        """
+        with self._lock:
+            worker_snapshots = list(self._worker_metrics.values())
+            workers_known = len(self._workers)
+        gauges = MetricsRegistry()
+        depth_gauge = gauges.gauge("repro_queue_depth")
+        for state, count in self.queue.depth().items():
+            depth_gauge.labels(state=state).set(count)
+        entries = self.cache.entry_count()
+        if entries is not None:
+            gauges.gauge("repro_cache_entries").set(entries)
+        gauges.gauge("repro_workers_known").set(workers_known)
+        merged = merge_snapshots(
+            [REGISTRY.snapshot()] + worker_snapshots + [gauges.snapshot()]
+        )
+        return render_prometheus(merged)
 
     def healthz(self) -> Dict[str, Any]:
         return {"ok": True, "uptime": round(time.time() - self.started, 3)}
@@ -219,6 +341,16 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        # the Prometheus text exposition content type
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -248,6 +380,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self._core.healthz())
             elif path == "/stats":
                 self._send_json(200, self._core.stats())
+            elif path == "/metrics":
+                self._send_text(200, self._core.metrics_text())
+            elif path.startswith("/trace/"):
+                trace_id = path[len("/trace/"):]
+                events = self._core.trace(trace_id)
+                self._send_json(
+                    200, {"trace_id": trace_id, "events": events}
+                )
             elif path == "/jobs/lease":
                 visibility = params.get("visibility")
                 jobs = self._core.lease(
@@ -295,11 +435,18 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 self._send_json(200, {"jobs": receipts})
             elif path == "/results":
+                body = body or {}
                 accepted = self._core.report(
-                    (body or {}).get("results", []),
-                    worker_id=(body or {}).get("worker", ""),
+                    body.get("results", []),
+                    worker_id=body.get("worker", ""),
+                    metrics=body.get("metrics"),
                 )
                 self._send_json(200, {"accepted": accepted})
+            elif path == "/trace":
+                stored = self._core.add_trace_events(
+                    (body or {}).get("events", [])
+                )
+                self._send_json(200, {"stored": stored})
             elif path == "/results/fetch":
                 digests = (body or {}).get("digests", [])
                 self._send_json(200, {"results": {
@@ -315,9 +462,11 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 self._send_json(200, {"accepted": ok})
             elif path == "/heartbeat":
+                body = body or {}
                 accepted = self._core.heartbeat(
-                    (body or {}).get("leases", []),
-                    worker_id=(body or {}).get("worker", ""),
+                    body.get("leases", []),
+                    worker_id=body.get("worker", ""),
+                    metrics=body.get("metrics"),
                 )
                 self._send_json(200, {"accepted": accepted})
             else:

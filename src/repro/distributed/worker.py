@@ -25,15 +25,28 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.distributed.backends import CacheBackend, storable_outcome
 from repro.distributed.jobqueue import LeasedJob
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import (
+    collect_events,
+    emit_event,
+    new_trace_id,
+    tracing_enabled,
+)
 
 
 @dataclass
 class WorkerStats:
-    """Lifetime counters of one worker daemon."""
+    """Lifetime counters of one worker daemon.
+
+    A read-only *view* recomposed from the worker's registry cells
+    (:attr:`Worker.stats`): these numbers and the ``repro_worker_*``
+    families the daemon ships to the coordinator on heartbeat are the
+    same counters by construction.
+    """
 
     chunks: int = 0
     jobs: int = 0
@@ -98,11 +111,29 @@ class Worker:
         self.visibility_timeout = visibility_timeout
         self.drain = drain
         self.max_chunks = max_chunks
-        self.stats = WorkerStats()
+        # Per-worker registry chained to the process-global one: the
+        # cells below are this daemon's stats() *and* feed the
+        # /metrics families it ships inside heartbeats/reports.
+        self._registry = MetricsRegistry(parent=REGISTRY)
+        self._cells = {
+            field: self._registry.counter(f"repro_worker_{field}_total")
+                       .labels()
+            for field in (
+                "chunks", "jobs", "acks", "stale", "nacks", "batched",
+                "heartbeats", "idle_polls", "queue_errors",
+            )
+        }
         self._workers = workers
         self._mp_context = mp_context
         self._pool = None
         self._stop = threading.Event()
+
+    @property
+    def stats(self) -> WorkerStats:
+        """Counter view recomposed from this worker's registry cells."""
+        return WorkerStats(**{
+            field: int(cell.value) for field, cell in self._cells.items()
+        })
 
     # -- lifecycle -------------------------------------------------------
     def stop(self) -> None:
@@ -156,12 +187,24 @@ class Worker:
             # again next tick rather than abandoning the loop.
             try:
                 if batched is not None:
-                    accepted = batched(leases, worker_id=self.worker_id)
-                    self.stats.heartbeats += sum(map(bool, accepted))
+                    # Ship the latest metric snapshot with each batched
+                    # heartbeat so the coordinator's /metrics covers
+                    # this worker mid-solve (queues that don't take a
+                    # metrics kwarg just get the plain call).
+                    try:
+                        accepted = batched(
+                            leases, worker_id=self.worker_id,
+                            metrics=REGISTRY.snapshot(),
+                        )
+                    except TypeError:
+                        accepted = batched(leases,
+                                           worker_id=self.worker_id)
+                    self._cells["heartbeats"].inc(
+                        sum(map(bool, accepted)))
                 else:
                     for job in jobs:
                         if self.queue.heartbeat(job.job_id, job.token):
-                            self.stats.heartbeats += 1
+                            self._cells["heartbeats"].inc()
             except Exception:  # noqa: BLE001 - keep solving
                 continue
 
@@ -183,7 +226,7 @@ class Worker:
                         visibility_timeout=self.visibility_timeout,
                     )
                     if not jobs:
-                        self.stats.idle_polls += 1
+                        self._cells["idle_polls"].inc()
                         if self.drain and self._drained():
                             break
                         if self._stop.wait(self.poll_interval):
@@ -191,7 +234,7 @@ class Worker:
                         continue
                     self.solve_chunk(jobs)
                 except Exception:  # noqa: BLE001 - outlive the outage
-                    self.stats.queue_errors += 1
+                    self._cells["queue_errors"].inc()
                     consecutive_errors += 1
                     backoff = min(
                         10.0, self.poll_interval * (2 ** min(
@@ -202,9 +245,9 @@ class Worker:
                         break
                     continue
                 consecutive_errors = 0
-                self.stats.chunks += 1
+                self._cells["chunks"].inc()
                 if self.max_chunks is not None \
-                        and self.stats.chunks >= self.max_chunks:
+                        and self._cells["chunks"].value >= self.max_chunks:
                     break
         finally:
             if self._pool is not None:
@@ -212,9 +255,56 @@ class Worker:
                 self._pool = None
         return self.stats
 
+    def _trace_contexts(
+        self, jobs: Sequence[LeasedJob]
+    ) -> Tuple[List[Dict[str, Any]], List[Optional[Tuple[str, Any, str]]]]:
+        """Re-parent each traced payload under a fresh worker span.
+
+        Returns the payloads to solve plus, per job, ``(trace_id,
+        original parent span, worker span id)`` — the worker span is
+        what ``job.solve`` parents under, and the ``worker.solve``
+        event emitted after the chunk closes the sandwich:
+        ``client.job → worker.solve → job.solve``.
+        """
+        payloads: List[Dict[str, Any]] = []
+        contexts: List[Optional[Tuple[str, Any, str]]] = []
+        for job in jobs:
+            payload = job.payload
+            trace_ctx = (payload or {}).get("trace") or {}
+            if tracing_enabled() and trace_ctx.get("trace_id"):
+                worker_span = new_trace_id()
+                payload = dict(payload)
+                payload["trace"] = {
+                    "trace_id": str(trace_ctx["trace_id"]),
+                    "parent_id": worker_span,
+                }
+                contexts.append((str(trace_ctx["trace_id"]),
+                                 trace_ctx.get("parent_id"), worker_span))
+            else:
+                contexts.append(None)
+            payloads.append(payload)
+        return payloads, contexts
+
+    def _ship_trace(self, contexts: Sequence[Optional[Tuple]]) -> None:
+        """Post this chunk's buffered trace events to the coordinator."""
+        trace_ids = [ctx[0] for ctx in contexts if ctx is not None]
+        if not trace_ids:
+            return
+        post = getattr(self.queue, "post_trace", None)
+        if post is None:
+            return
+        events = collect_events(trace_ids, clear=True)
+        if not events:
+            return
+        try:
+            post(events)
+        except Exception:  # noqa: BLE001 - tracing never kills a solve
+            pass
+
     def solve_chunk(self, jobs: Sequence[LeasedJob]) -> None:
         """Solve one leased chunk and report every outcome."""
-        payloads = [job.payload for job in jobs]
+        payloads, contexts = self._trace_contexts(jobs)
+        started = time.perf_counter()
         done = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat_loop, args=(jobs, done), daemon=True,
@@ -231,17 +321,36 @@ class Worker:
         except Exception as exc:  # noqa: BLE001 - report, don't die
             done.set()
             beat.join()
-            for job in jobs:
+            for job, ctx in zip(jobs, contexts):
+                if ctx is not None:
+                    emit_event(
+                        "worker.nack", trace_id=ctx[0], parent_id=ctx[1],
+                        span_id=ctx[2],
+                        dur=time.perf_counter() - started,
+                        worker=self.worker_id, digest=job.digest[:12],
+                        error=repr(exc),
+                    )
                 try:
                     self.queue.nack(job.job_id, job.token,
                                     error=repr(exc))
-                    self.stats.nacks += 1
+                    self._cells["nacks"].inc()
                 except Exception:  # noqa: BLE001
                     pass
+            self._ship_trace(contexts)
             return
         done.set()
         beat.join()
+        for job, ctx, outcome in zip(jobs, contexts, results):
+            if ctx is not None:
+                emit_event(
+                    "worker.solve", trace_id=ctx[0], parent_id=ctx[1],
+                    span_id=ctx[2],
+                    dur=float(outcome.get("wall_time", 0.0)),
+                    worker=self.worker_id, digest=job.digest[:12],
+                    status=outcome.get("status", ""),
+                )
         self._report(jobs, results)
+        self._ship_trace(contexts)
 
     def _report(self, jobs: Sequence[LeasedJob],
                 results: Sequence[Dict[str, Any]]) -> None:
@@ -255,7 +364,14 @@ class Worker:
             })
         report = getattr(self.queue, "report", None)
         if report is not None:
-            accepted = report(rows, worker_id=self.worker_id)
+            # The report also carries the final metric snapshot for the
+            # chunk — fast chunks can finish before the first heartbeat
+            # would ever have shipped one.
+            try:
+                accepted = report(rows, worker_id=self.worker_id,
+                                  metrics=REGISTRY.snapshot())
+            except TypeError:
+                accepted = report(rows, worker_id=self.worker_id)
         else:
             accepted = [
                 self.queue.ack(row["job_id"], row["token"],
@@ -263,15 +379,15 @@ class Worker:
                 for row in rows
             ]
         for row, ok in zip(rows, accepted):
-            self.stats.jobs += 1
+            self._cells["jobs"].inc()
             if row["outcome"].get("batched"):
-                self.stats.batched += 1
+                self._cells["batched"].inc()
             if not ok:
                 # Redelivered elsewhere after a lease expiry: someone
                 # else's result won — drop ours (no duplicates).
-                self.stats.stale += 1
+                self._cells["stale"].inc()
                 continue
-            self.stats.acks += 1
+            self._cells["acks"].inc()
             if self.cache is not None \
                     and storable_outcome(row["outcome"]):
                 self.cache.put(row["digest"], row["outcome"])

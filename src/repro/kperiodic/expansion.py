@@ -45,7 +45,19 @@ from repro.mcrp.graph import FrozenBiValuedGraph
 from repro.model.buffer import Buffer
 from repro.model.graph import CsdfGraph
 from repro.model.task import Task
+from repro.obs.metrics import REGISTRY as _REGISTRY
 from repro.utils.rational import lcm_list
+
+# Pre-bound registry cells: the block cache is consulted once per
+# buffer per K-Iter round, so each event costs one attribute load and
+# an integer add on top of the existing int counters.
+_BLOCK_EVENTS = _REGISTRY.counter("repro_expansion_block_cache_total")
+_BLOCK_HIT = _BLOCK_EVENTS.labels(event="hit")
+_BLOCK_MISS = _BLOCK_EVENTS.labels(event="miss")
+_BLOCK_EVICTION = _BLOCK_EVENTS.labels(event="eviction")
+_COMPILED_EVENTS = _REGISTRY.counter("repro_expansion_compiled_total")
+_COMPILED_HIT = _COMPILED_EVENTS.labels(event="hit")
+_COMPILED_MISS = _COMPILED_EVENTS.labels(event="miss")
 
 #: int64 head-room guard shared by every overflow gate of the direct
 #: pipeline: whenever an intermediate product could reach this bound the
@@ -210,13 +222,16 @@ class ExpansionBlockCache:
         """The assembled ``(bi_graph, space)`` for this K, if cached."""
         if self._compiled_counts != (graph.task_count, graph.buffer_count):
             self.compiled_misses += 1
+            _COMPILED_MISS.inc()
             return None
         built = self._compiled.get(k_key)
         if built is None:
             self.compiled_misses += 1
+            _COMPILED_MISS.inc()
             return None
         self._compiled.move_to_end(k_key)
         self.compiled_hits += 1
+        _COMPILED_HIT.inc()
         return built
 
     def store_compiled(self, graph, k_key, built) -> None:
@@ -246,9 +261,11 @@ class ExpansionBlockCache:
         block = self._blocks.get((name, k_src, k_dst))
         if block is None:
             self.misses += 1
+            _BLOCK_MISS.inc()
             return None
         self._blocks.move_to_end((name, k_src, k_dst))
         self.hits += 1
+        _BLOCK_HIT.inc()
         return block
 
     def put(self, name: str, k_src: int, k_dst: int, block: ArcBlock) -> None:
@@ -262,6 +279,7 @@ class ExpansionBlockCache:
             _, evicted = self._blocks.popitem(last=False)
             self._cells -= evicted.cells
             self.evictions += 1
+            _BLOCK_EVICTION.inc()
 
     def clear(self) -> None:
         self._blocks.clear()

@@ -47,6 +47,44 @@ from repro.mcrp.batched import (
     batching_available,
 )
 from repro.mcrp.registry import get_engine
+from repro.obs.metrics import REGISTRY as _REGISTRY
+from repro.obs.trace import emit_event as _emit_event
+from repro.obs.trace import span as _span
+
+_FLEET_JOBS = _REGISTRY.counter("repro_fleet_jobs_total")
+_FLEET_BATCHED = _FLEET_JOBS.labels(mode="batched")
+_FLEET_DELEGATED = _FLEET_JOBS.labels(mode="delegated")
+_FLEET_FAILED = _FLEET_JOBS.labels(mode="failed")
+# Jobs the fleet finishes itself count as solver jobs too — delegated
+# payloads are counted inside solve_kiter_payload instead, so the
+# repro_solver_* families cover every route exactly once.
+_SOLVER_JOBS = _REGISTRY.counter("repro_solver_jobs_total")
+_SOLVER_SECONDS = _REGISTRY.histogram("repro_solver_seconds")
+
+
+def _emit_job_event(payload: Mapping[str, Any],
+                    outcome: Dict[str, Any]) -> None:
+    """Per-job trace event for fleet-completed payloads.
+
+    Fleet jobs interleave inside the lockstep loop, so their lifetimes
+    cannot nest as context managers; each completion is recorded as one
+    event adopting the payload's propagated trace context (the same
+    place :func:`~repro.kperiodic.kiter.solve_kiter_payload` parents
+    its ``job.solve`` span).
+    """
+    trace_ctx = payload.get("trace") or {}
+    if not trace_ctx.get("trace_id"):
+        return
+    _emit_event(
+        "job.solve",
+        trace_id=str(trace_ctx["trace_id"]),
+        parent_id=trace_ctx.get("parent_id"),
+        dur=float(outcome.get("wall_time", 0.0)),
+        digest=str(payload.get("digest", ""))[:12],
+        engine=outcome.get("engine_used", ""),
+        status=outcome.get("status", ""),
+        batched=outcome.get("batched", False),
+    )
 
 
 class _FleetJob:
@@ -111,17 +149,22 @@ def solve_fleet_payloads(
     pid = os.getpid()
 
     def per_graph(job: _FleetJob) -> None:
+        _FLEET_DELEGATED.inc()
         outcome = solve_kiter_payload(job.payload, graph=job.graph)
         outcome["batched"] = False
         outcomes[job.index] = outcome
 
     def failed(job: _FleetJob, status: str, exc: BaseException) -> None:
+        _FLEET_FAILED.inc()
         outcomes[job.index] = {
             "status": status, "error": str(exc),
             "engine_used": job.engine, "fallback": False,
             "wall_time": time.perf_counter() - started,
             "worker_pid": pid, "batched": job.batched_any,
         }
+        _SOLVER_JOBS.labels(status=status).inc()
+        _SOLVER_SECONDS.observe(outcomes[job.index]["wall_time"])
+        _emit_job_event(job.payload, outcomes[job.index])
 
     # Route, validate and group by primary engine (one batched kernel
     # call serves one engine's stack).
@@ -189,6 +232,7 @@ def _run_group(
 ) -> None:
     """Advance one engine's machines in lockstep until all terminate."""
     pending = jobs
+    fleet_round = 0
     while pending:
         batch = []
         for job in pending:
@@ -206,11 +250,14 @@ def _run_group(
                 batch.append((job, prepared))
         if not batch:
             break
-        results = batched_solve_mcrp(
-            [prepared.bi_graph for _, prepared in batch],
-            engine=engine,
-            lower_bounds=[prepared.lower for _, prepared in batch],
-        )
+        with _span("fleet.round", engine=engine, fleet=len(batch),
+                   round=fleet_round):
+            results = batched_solve_mcrp(
+                [prepared.bi_graph for _, prepared in batch],
+                engine=engine,
+                lower_bounds=[prepared.lower for _, prepared in batch],
+            )
+        fleet_round += 1
         pending = []
         for (job, prepared), out in zip(batch, results):
             if out is None:  # skipped/aborted member — defensive
@@ -232,6 +279,7 @@ def _run_group(
                 result = finish_min_period(prepared, out.result)
                 if job.machine.absorb(result):
                     final = job.machine.finalize(engine=job.engine)
+                    _FLEET_BATCHED.inc()
                     outcomes[job.index] = {
                         "status": "OK",
                         "period": [final.period.numerator,
@@ -244,6 +292,10 @@ def _run_group(
                         "wall_time": time.perf_counter() - started,
                         "worker_pid": pid, "batched": job.batched_any,
                     }
+                    _SOLVER_JOBS.labels(status="OK").inc()
+                    _SOLVER_SECONDS.observe(
+                        outcomes[job.index]["wall_time"])
+                    _emit_job_event(job.payload, outcomes[job.index])
                 else:
                     pending.append(job)
             except SolverError:

@@ -39,8 +39,19 @@ from repro.kperiodic.solver import (
     prepare_min_period,
     solve_prepared_min_period,
 )
+from repro.obs.metrics import REGISTRY as _REGISTRY
+from repro.obs.trace import span as _span
 from repro.utils.rational import lcm_list
 from repro.utils.timing import TimeBudget
+
+# Pre-bound cells: one integer add per round / escalation / job.
+_ROUNDS_TOTAL = _REGISTRY.counter("repro_kiter_rounds_total")
+_ESCALATIONS = _REGISTRY.counter("repro_kiter_escalations_total")
+_ESC_OPTIMALITY = _ESCALATIONS.labels(kind="optimality")
+_ESC_INFEASIBLE = _ESCALATIONS.labels(kind="infeasible")
+_ESC_FULL_Q = _ESCALATIONS.labels(kind="full-q-jump")
+_SOLVER_JOBS = _REGISTRY.counter("repro_solver_jobs_total")
+_SOLVER_SECONDS = _REGISTRY.histogram("repro_solver_seconds")
 
 
 @dataclass
@@ -162,6 +173,7 @@ class KIterMachine:
             raise SolverError(f"K-Iter exceeded {self.max_rounds} rounds")
         self._rounds_left -= 1
         self.budget.check()
+        _ROUNDS_TOTAL.inc()
         self._lcm_k = lcm_list(self.K.values())
         seed = None
         if (
@@ -211,6 +223,7 @@ class KIterMachine:
         if passed:
             self.final = result
             return True
+        _ESC_OPTIMALITY.inc()
         self._prev_lambda = result.omega_expanded
         self._prev_lcm = self._lcm_k
         if self.update_policy == "lcm":
@@ -249,7 +262,9 @@ class KIterMachine:
                 )
             )
             self.K = dict(self.q)
+            _ESC_FULL_Q.inc()
             return
+        _ESC_INFEASIBLE.inc()
         self.K = _escalate_infeasible(
             self.graph, self.q, self.K, exc, self.rounds
         )
@@ -345,13 +360,17 @@ def throughput_kiter(
         warm_start=warm_start, pipeline=pipeline,
     )
     while True:
-        prepared = machine.prepare()
-        try:
-            result = solve_prepared_min_period(prepared, engine)
-        except DeadlockError as exc:
-            machine.absorb_deadlock(exc)
-            continue
-        if machine.absorb(result):
+        with _span("kiter.round", engine=engine,
+                   round=len(machine.rounds)) as round_span:
+            prepared = machine.prepare()
+            round_span.attrs["lcm_K"] = machine._lcm_k
+            try:
+                result = solve_prepared_min_period(prepared, engine)
+            except DeadlockError as exc:
+                machine.absorb_deadlock(exc)
+                continue
+            certified = machine.absorb(result)
+        if certified:
             return machine.finalize(build_schedule=build_schedule,
                                     engine=engine)
 
@@ -489,43 +508,57 @@ def solve_kiter_payload(
             "worker_pid": os.getpid(),
         }
 
-    last_error = "no engine produced a result"
-    for position, engine in enumerate(engines):
-        try:
-            result = throughput_kiter(
-                graph,
-                engine=engine,
-                max_rounds=payload.get("max_rounds", 100_000),
-                time_budget=payload.get("time_budget"),
-                initial_k=payload.get("initial_k"),
-                update_policy=update_policy,
-                warm_start=payload.get("warm_start", True),
-                pipeline=pipeline,
-            )
-        except SolverError as exc:
-            # Certification failure: fall through to the next engine.
-            last_error = f"{engine}: {exc}"
-            continue
-        except DeadlockError as exc:
-            return {"status": "DEADLOCK", "error": str(exc),
-                    **base(engine, position)}
-        except BudgetExceededError as exc:
-            return {"status": "TIMEOUT", "error": str(exc),
-                    **base(engine, position)}
-        except ReproError as exc:
-            return {"status": "ERROR", "error": str(exc),
-                    **base(engine, position)}
-        return {
-            "status": "OK",
-            "period": [result.period.numerator, result.period.denominator],
-            "K": dict(result.K),
-            "rounds": result.iteration_count,
-            "engine_iterations": result.engine_iteration_count,
-            "critical_tasks": sorted(result.critical_tasks),
-            **base(engine, position),
-        }
-    return {"status": "ERROR", "error": last_error,
-            **base(engines[-1], len(engines) - 1)}
+    def attempt() -> Dict[str, Any]:
+        last_error = "no engine produced a result"
+        for position, engine in enumerate(engines):
+            try:
+                result = throughput_kiter(
+                    graph,
+                    engine=engine,
+                    max_rounds=payload.get("max_rounds", 100_000),
+                    time_budget=payload.get("time_budget"),
+                    initial_k=payload.get("initial_k"),
+                    update_policy=update_policy,
+                    warm_start=payload.get("warm_start", True),
+                    pipeline=pipeline,
+                )
+            except SolverError as exc:
+                # Certification failure: fall through to the next engine.
+                last_error = f"{engine}: {exc}"
+                continue
+            except DeadlockError as exc:
+                return {"status": "DEADLOCK", "error": str(exc),
+                        **base(engine, position)}
+            except BudgetExceededError as exc:
+                return {"status": "TIMEOUT", "error": str(exc),
+                        **base(engine, position)}
+            except ReproError as exc:
+                return {"status": "ERROR", "error": str(exc),
+                        **base(engine, position)}
+            return {
+                "status": "OK",
+                "period": [result.period.numerator,
+                           result.period.denominator],
+                "K": dict(result.K),
+                "rounds": result.iteration_count,
+                "engine_iterations": result.engine_iteration_count,
+                "critical_tasks": sorted(result.critical_tasks),
+                **base(engine, position),
+            }
+        return {"status": "ERROR", "error": last_error,
+                **base(engines[-1], len(engines) - 1)}
+
+    # Adopt the trace context the facade put in the payload (if any) so
+    # this span — and every kiter.round under it — lands in the job's
+    # trace even across process/host boundaries.
+    with _span("job.solve", trace=payload.get("trace"),
+               digest=str(payload.get("digest", ""))[:12],
+               engine=engines[0]) as job_span:
+        outcome = attempt()
+        job_span.attrs["status"] = outcome["status"]
+    _SOLVER_JOBS.labels(status=outcome["status"]).inc()
+    _SOLVER_SECONDS.observe(outcome["wall_time"])
+    return outcome
 
 
 def throughput_via_full_expansion(graph, *, engine: str = "ratio-iteration"):

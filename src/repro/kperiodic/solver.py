@@ -27,7 +27,10 @@ from repro.kperiodic.expansion import (
 from repro.kperiodic.schedule import KPeriodicSchedule
 from repro.mcrp.graph import BiValuedGraph, CycleResult
 from repro.mcrp.registry import get_engine, solve_mcrp
+from repro.obs.metrics import REGISTRY as _REGISTRY
 from repro.utils.rational import lcm_list
+
+_ENGINE_ITERATIONS = _REGISTRY.counter("repro_engine_iterations_total")
 
 
 @dataclass
@@ -225,6 +228,7 @@ def solve_prepared_min_period(
         )
     except DeadlockError as exc:
         raise annotate_deadlock(prepared, exc)
+    _ENGINE_ITERATIONS.labels(engine=engine).inc(result.iterations)
     return finish_min_period(prepared, result)
 
 
@@ -311,6 +315,7 @@ def min_period_for_k(
         # escalate K along it (a small-K infeasibility is not necessarily
         # a graph deadlock — see exceptions.DeadlockError).
         raise annotate_deadlock(prepared, exc)
+    _ENGINE_ITERATIONS.labels(engine=engine).inc(result.iterations)
     return finish_min_period(prepared, result, build_schedule=build_schedule)
 
 

@@ -51,6 +51,10 @@ from repro.exceptions import DeadlockError, ReproError, SolverError
 from repro.mcrp.graph import BiValuedGraph, CycleResult
 from repro.mcrp.karp import _NEG, _NEG_HALF, _recover_cycle
 from repro.mcrp.registry import get_engine, solve_mcrp
+from repro.obs.metrics import REGISTRY as _REGISTRY
+
+_KERNEL_ROUNDS = _REGISTRY.counter("repro_batched_kernel_rounds_total")
+_DELEGATIONS = _REGISTRY.counter("repro_batched_delegations_total")
 
 #: Engine name → batched oracle kind. ``hybrid`` batches as the exact
 #: Jacobi probe (the float Howard prefilter is a per-graph scalar loop
@@ -256,7 +260,10 @@ def batched_solve_mcrp(
         return []
     oracle = BATCHED_ORACLES.get(engine)
 
+    delegations_cell = _DELEGATIONS.labels(engine=engine)
+
     def delegate(index: int, lower: Optional[Fraction]) -> None:
+        delegations_cell.inc()
         try:
             result = solve_mcrp(graphs[index], info, lower_bound=lower)
         except ReproError as exc:
@@ -295,7 +302,8 @@ def batched_solve_mcrp(
     if member_compiled:
         stack = BatchedCompiledGraph(member_compiled)
         _iterate_stack(stack, member_index, graphs, bounds, oracle,
-                       outcomes, delegate)
+                       outcomes, delegate,
+                       rounds_cell=_KERNEL_ROUNDS.labels(engine=engine))
     for i, outcome in enumerate(outcomes):
         if outcome is None:  # pragma: no cover - defensive totality
             delegate(i, bounds[i])
@@ -303,7 +311,7 @@ def batched_solve_mcrp(
 
 
 def _iterate_stack(stack, member_index, graphs, bounds, oracle,
-                   outcomes, delegate) -> None:
+                   outcomes, delegate, rounds_cell=None) -> None:
     """Ascending λ iteration over the stacked fleet (exact per graph)."""
     states: Dict[int, _GraphState] = {}
     for pos, i in enumerate(member_index):
@@ -341,6 +349,8 @@ def _iterate_stack(stack, member_index, graphs, bounds, oracle,
         if not probe_set:
             break
 
+        if rounds_cell is not None:
+            rounds_cell.inc()
         if oracle == "jacobi":
             cycles, quiet, punt = _jacobi_probe(stack, states, probe_set)
         else:

@@ -1,0 +1,35 @@
+"""repro.obs — the flight recorder: metrics registry + span tracer.
+
+Stdlib-only observability for the whole stack: a process-local
+:class:`~repro.obs.metrics.MetricsRegistry` (counters / gauges /
+histograms, parent-chained so per-object stats and the global
+``/metrics`` surface share cells), a JSONL span tracer gated on
+``REPRO_TRACE``, the trace summarizer behind ``repro trace``, and the
+shared ``BENCH_*.json`` emission schema.
+
+See ``docs/observability.md`` for the span taxonomy and metric-name
+table (pinned to :data:`METRICS` by ``tests/test_docs.py``).
+"""
+
+from .metrics import (METRICS, MetricSpec, MetricsRegistry, REGISTRY,
+                      merge_snapshots, render_prometheus)
+from .trace import (collect_events, configure_tracing, current_trace,
+                    emit_event, new_trace_id, span, trace_path,
+                    tracing_enabled)
+
+__all__ = [
+    "METRICS",
+    "MetricSpec",
+    "MetricsRegistry",
+    "REGISTRY",
+    "merge_snapshots",
+    "render_prometheus",
+    "span",
+    "emit_event",
+    "configure_tracing",
+    "tracing_enabled",
+    "trace_path",
+    "new_trace_id",
+    "current_trace",
+    "collect_events",
+]

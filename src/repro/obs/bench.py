@@ -1,0 +1,77 @@
+"""Shared benchmark emission: one schema for every ``BENCH_*.json``.
+
+Every ``benchmarks/bench_*.py`` gate routes its numbers through
+:func:`emit_bench`, which (1) sets ``repro_bench_value{bench,name}``
+gauges in the process registry so a live scrape sees the latest gate
+numbers, and (2) writes ``BENCH_<bench>.json`` with the append-able
+schema the ROADMAP bench trajectory expects::
+
+    {"bench": "...", "schema": "repro-bench/1", "commit": "<sha|''>",
+     "metrics": [{"name": ..., "value": ..., "unit": ...,
+                  "commit": ...}, ...],
+     ...extra}
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .metrics import REGISTRY
+
+__all__ = ["bench_commit", "emit_bench", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def bench_commit() -> str:
+    """Current git commit sha, or "" outside a repo — never raises."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=Path(__file__).resolve().parents[3],
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def emit_bench(bench: str, metrics: Iterable[Dict[str, object]],
+               extra: Optional[Dict[str, object]] = None,
+               out_dir: str = ".") -> Dict[str, object]:
+    """Record gate numbers and write ``BENCH_<bench>.json``.
+
+    ``metrics`` rows need ``name``/``value``/``unit`` keys; the commit
+    sha is stamped on the envelope and every row so rows stay
+    self-describing when trajectories are concatenated.
+    """
+    commit = bench_commit()
+    gauge = REGISTRY.gauge("repro_bench_value")
+    rows: List[Dict[str, object]] = []
+    for metric in metrics:
+        row = {
+            "name": str(metric["name"]),
+            "value": metric["value"],
+            "unit": str(metric.get("unit", "")),
+            "commit": commit,
+        }
+        try:
+            gauge.labels(bench=bench, name=row["name"]).set(
+                float(row["value"]))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            pass  # non-numeric gate values still land in the JSON
+        rows.append(row)
+    envelope: Dict[str, object] = {
+        "bench": bench,
+        "schema": BENCH_SCHEMA,
+        "commit": commit,
+        "metrics": rows,
+    }
+    if extra:
+        envelope.update(extra)
+    path = Path(out_dir) / f"BENCH_{bench}.json"
+    path.write_text(json.dumps(envelope, indent=2) + "\n",
+                    encoding="utf-8")
+    return envelope

@@ -1,0 +1,174 @@
+"""Trace summarizer: span trees and self/total time tables.
+
+Backs ``repro trace out.jsonl`` — loads a JSONL trace file, groups
+events by ``trace_id``, rebuilds the parent/child tree, and renders a
+per-trace tree (total time per span) plus an aggregate top-N table
+(count, total, self time per span name).
+
+"Self" time is a span's duration minus the duration of its direct
+children — the time the span spent doing its own work rather than
+waiting on instrumented callees.  Spans recorded by different
+processes are stitched by ids, not clocks: ``t0`` is per-process
+monotonic, so ordering across processes uses ``wall``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["load_events", "build_trees", "aggregate", "render_summary"]
+
+
+def load_events(path) -> List[Dict]:
+    """Parse a JSONL trace file, skipping malformed lines."""
+    events: List[Dict] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(event, dict) and event.get("name"):
+            events.append(event)
+    return events
+
+
+class SpanNode:
+    __slots__ = ("event", "children")
+
+    def __init__(self, event: Dict) -> None:
+        self.event = event
+        self.children: List["SpanNode"] = []
+
+    @property
+    def name(self) -> str:
+        return str(self.event.get("name", "?"))
+
+    @property
+    def dur(self) -> float:
+        return float(self.event.get("dur") or 0.0)
+
+    @property
+    def self_time(self) -> float:
+        return max(0.0, self.dur - sum(c.dur for c in self.children))
+
+
+def build_trees(events: Iterable[Dict]) -> Dict[str, List[SpanNode]]:
+    """Group events by trace id and link children to parents.
+
+    Returns ``{trace_id: [root nodes]}``; events whose parent is not in
+    the trace (e.g. the parent process wasn't tracing) become roots.
+    """
+    by_trace: Dict[str, List[Dict]] = defaultdict(list)
+    for event in events:
+        by_trace[str(event.get("trace_id") or "?")].append(event)
+    trees: Dict[str, List[SpanNode]] = {}
+    for trace_id, group in by_trace.items():
+        nodes = {e.get("span_id"): SpanNode(e) for e in group
+                 if e.get("span_id")}
+        roots: List[SpanNode] = []
+        for node in nodes.values():
+            parent = nodes.get(node.event.get("parent_id"))
+            if parent is not None and parent is not node:
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        for node in nodes.values():
+            node.children.sort(key=lambda n: (n.event.get("wall", 0.0),
+                                              n.event.get("t0", 0.0)))
+        roots.sort(key=lambda n: (n.event.get("wall", 0.0),
+                                  n.event.get("t0", 0.0)))
+        trees[trace_id] = roots
+    return trees
+
+
+def aggregate(events: Iterable[Dict]) -> List[Dict]:
+    """Per-name totals: count, total time, self time; sorted by self."""
+    trees = build_trees(events)
+    rows: Dict[str, Dict[str, float]] = defaultdict(
+        lambda: {"count": 0, "total": 0.0, "self": 0.0})
+
+    def walk(node: SpanNode) -> None:
+        row = rows[node.name]
+        row["count"] += 1
+        row["total"] += node.dur
+        row["self"] += node.self_time
+        for child in node.children:
+            walk(child)
+
+    for roots in trees.values():
+        for root in roots:
+            walk(root)
+    out = [{"name": name, **row} for name, row in rows.items()]
+    out.sort(key=lambda r: -r["self"])
+    return out
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def _render_node(node: SpanNode, depth: int, lines: List[str],
+                 max_depth: int) -> None:
+    attrs = node.event.get("attrs") or {}
+    detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items())
+                      if k in ("engine", "K", "graph", "status", "jobs",
+                               "digest", "mode", "kind", "worker"))
+    pad = "  " * depth
+    suffix = f"  [{detail}]" if detail else ""
+    lines.append(f"{pad}{node.name:<24} {_fmt_seconds(node.dur):>10}"
+                 f"{suffix}")
+    if depth + 1 >= max_depth:
+        if node.children:
+            lines.append(f"{pad}  … {len(node.children)} children elided")
+        return
+    for child in node.children:
+        _render_node(child, depth + 1, lines, max_depth)
+
+
+def render_summary(events: List[Dict], top: int = 10,
+                   trace_id: Optional[str] = None,
+                   max_traces: int = 5, max_depth: int = 6) -> str:
+    """Human-readable trace report: per-trace trees + top-N table."""
+    if not events:
+        return "no trace events\n"
+    trees = build_trees(events)
+    lines: List[str] = []
+    wanted = [trace_id] if trace_id else list(trees)
+    shown = 0
+    for tid in wanted:
+        roots = trees.get(tid)
+        if not roots:
+            lines.append(f"trace {tid}: not found")
+            continue
+        if shown >= max_traces:
+            break
+        shown += 1
+        span_count = sum(1 for e in events
+                         if str(e.get("trace_id")) == tid)
+        total = sum(r.dur for r in roots)
+        lines.append(f"trace {tid}  ({span_count} spans, "
+                     f"{_fmt_seconds(total)} across {len(roots)} roots)")
+        for root in roots:
+            _render_node(root, 1, lines, max_depth)
+        lines.append("")
+    remaining = len(trees) - shown
+    if not trace_id and remaining > 0:
+        lines.append(f"… {remaining} more traces "
+                     f"(use --trace-id to pick one)")
+        lines.append("")
+    rows = aggregate(events)[:top]
+    lines.append(f"top {min(top, len(rows))} spans by self time:")
+    lines.append(f"  {'span':<26} {'count':>7} {'total':>10} {'self':>10}")
+    for row in rows:
+        lines.append(f"  {row['name']:<26} {int(row['count']):>7} "
+                     f"{_fmt_seconds(row['total']):>10} "
+                     f"{_fmt_seconds(row['self']):>10}")
+    return "\n".join(lines) + "\n"

@@ -23,7 +23,6 @@ second line of defense.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
@@ -33,6 +32,7 @@ from repro.distributed.backends import (
     DiskCacheBackend,
     MemoryCacheBackend,
 )
+from repro.obs.metrics import REGISTRY, MetricsRegistry
 
 
 @dataclass
@@ -41,6 +41,10 @@ class CacheStats:
 
     ``disk_hits`` counts *persistent-tier* hits whatever the backend —
     the name is kept for compatibility with existing dashboards.
+    This is a read-only *view* built from the cache's registry cells
+    (:attr:`ResultCache.stats`), so the numbers here and the
+    ``repro_result_cache_*`` families on ``/metrics`` are the same
+    counters by construction.
     """
 
     memory_hits: int = 0
@@ -93,8 +97,22 @@ class ResultCache:
             backend.root if isinstance(backend, DiskCacheBackend) else None
         )
         self._memory = MemoryCacheBackend(memory_size)
-        self._lock = threading.Lock()
-        self.stats = CacheStats()
+        # Per-instance registry chained to the process-global one: the
+        # cells below *are* the stats() numbers and the /metrics
+        # families — one source of truth, no drift possible.
+        self._registry = MetricsRegistry(parent=REGISTRY)
+        hits = self._registry.counter("repro_result_cache_hits_total")
+        self._memory_hit_cell = hits.labels(tier="memory")
+        backend_tier = backend.name if backend is not None else "disk"
+        if backend_tier == "memory":
+            # a MemoryCacheBackend persistent tier must not share the
+            # LRU tier's label, or the two hit counters merge
+            backend_tier = "backend"
+        self._backend_hit_cell = hits.labels(tier=backend_tier)
+        self._miss_cell = self._registry.counter(
+            "repro_result_cache_misses_total").labels()
+        self._put_cell = self._registry.counter(
+            "repro_result_cache_puts_total").labels()
 
     # ------------------------------------------------------------------
     def get(self, digest: str) -> Optional[Dict[str, Any]]:
@@ -109,27 +127,41 @@ class ResultCache:
         ``""`` (miss)."""
         entry = self._memory.get(digest)
         if entry is not None:
-            with self._lock:
-                self.stats.memory_hits += 1
+            self._memory_hit_cell.inc()
             return entry, "memory"
         if self.backend is not None:
             entry = self.backend.get(digest)
             if entry is not None:
-                with self._lock:
-                    self.stats.disk_hits += 1
+                self._backend_hit_cell.inc()
                 self._memory.put(digest, entry)  # promote
                 return entry, self.backend.name
-        with self._lock:
-            self.stats.misses += 1
+        self._miss_cell.inc()
         return None, ""
 
     def put(self, digest: str, outcome: Dict[str, Any]) -> None:
         """Store an outcome dict in every enabled tier."""
-        with self._lock:
-            self.stats.puts += 1
+        self._put_cell.inc()
         self._memory.put(digest, outcome)
         if self.backend is not None:
             self.backend.put(digest, outcome)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counter view recomposed from this cache's registry cells."""
+        hit_samples = self._registry.samples("repro_result_cache_hits_total")
+        memory_hits = int(hit_samples.get(("memory",), 0))
+        backend_hits = int(sum(
+            value for key, value in hit_samples.items()
+            if key != ("memory",)
+        ))
+        return CacheStats(
+            memory_hits=memory_hits,
+            disk_hits=backend_hits,
+            misses=int(self._registry.value(
+                "repro_result_cache_misses_total")),
+            puts=int(self._registry.value(
+                "repro_result_cache_puts_total")),
+        )
 
     def __contains__(self, digest: str) -> bool:
         if self._memory.contains(digest):

@@ -44,6 +44,14 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Union
 from repro.kperiodic.fleet import solve_fleet_payloads
 from repro.kperiodic.kiter import solve_kiter_payload
 from repro.model.graph import CsdfGraph
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import (
+    collect_events,
+    emit_event,
+    new_trace_id,
+    span as _span,
+    tracing_enabled,
+)
 from repro.service.cache import ResultCache
 from repro.service.job import JobOutcome, ThroughputJob
 from repro.service.pool import SolverPool
@@ -53,7 +61,13 @@ GraphLike = Union[CsdfGraph, Mapping[str, Any], ThroughputJob]
 
 @dataclass
 class ServiceStats:
-    """Aggregate counters of one service lifetime."""
+    """Aggregate counters of one service lifetime.
+
+    Since PR 7 this is a read-only *view* recomposed from the service's
+    registry cells (see :meth:`ThroughputService.stats`): the numbers
+    here, the worker heartbeats and the coordinator's ``/metrics``
+    families all read the same counters, so they cannot drift apart.
+    """
 
     jobs: int = 0
     solves: int = 0
@@ -185,7 +199,26 @@ class ThroughputService:
         self._chunk_size = chunk_size
         self._job_timeout = job_timeout
         self._lock = threading.Lock()
-        self._stats = ServiceStats()
+        # Per-service registry chained to the process-global one: the
+        # cells below are the one source of truth behind stats(), the
+        # worker heartbeat snapshots, and /metrics — the ad-hoc
+        # batched/fallback/cache counters of PR 5–6 are recomposed over
+        # them so the surfaces can never disagree.
+        self._registry = MetricsRegistry(parent=REGISTRY)
+        self._jobs_metric = self._registry.counter(
+            "repro_service_jobs_total")
+        self._solves_cell = self._registry.counter(
+            "repro_service_solves_total").labels()
+        self._dedup_cell = self._registry.counter(
+            "repro_service_batch_dedup_total").labels()
+        self._batched_cell = self._registry.counter(
+            "repro_service_batched_total").labels()
+        self._fallback_cell = self._registry.counter(
+            "repro_service_fallback_total").labels()
+        self._wall_cell = self._registry.counter(
+            "repro_service_wall_seconds_total").labels()
+        self._batch_seconds = self._registry.histogram(
+            "repro_service_batch_seconds").labels()
 
     # ------------------------------------------------------------------
     # Job construction
@@ -223,54 +256,104 @@ class ThroughputService:
         """
         started = time.perf_counter()
         jobs = [self.job_for(g) for g in graphs]
-        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
-        unique: "OrderedDict[str, ThroughputJob]" = OrderedDict()
-        followers: Dict[str, List[int]] = {}
+        with _span("service.batch", jobs=len(jobs)) as batch_span:
+            outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+            unique: "OrderedDict[str, ThroughputJob]" = OrderedDict()
+            followers: Dict[str, List[int]] = {}
 
-        for index, job in enumerate(jobs):
-            cached, tier = self.cache.get_with_tier(job.digest)
-            if cached is not None:
-                outcome = JobOutcome.from_json_dict(cached)
-                outcome.cache_hit = tier
-                outcome.label = job.label or outcome.label
-                outcomes[index] = outcome
-                continue
-            if job.digest in unique:
-                followers.setdefault(job.digest, []).append(index)
-                continue
-            unique[job.digest] = job
-            followers[job.digest] = [index]
+            for index, job in enumerate(jobs):
+                cached, tier = self.cache.get_with_tier(job.digest)
+                if cached is not None:
+                    outcome = JobOutcome.from_json_dict(cached)
+                    outcome.cache_hit = tier
+                    outcome.label = job.label or outcome.label
+                    outcomes[index] = outcome
+                    continue
+                if job.digest in unique:
+                    followers.setdefault(job.digest, []).append(index)
+                    continue
+                unique[job.digest] = job
+                followers[job.digest] = [index]
 
-        miss_jobs = list(unique.values())
-        results = self._solve_payloads([j.payload() for j in miss_jobs])
-        for job, result in zip(miss_jobs, results):
-            # A queue-routed job answered by the coordinator's cache
-            # arrives tagged cache_hit="remote"; local solves carry "".
-            outcome = JobOutcome.from_solve(
-                job, result, cache_hit=result.get("cache_hit", "")
+            miss_jobs = list(unique.values())
+            payloads = [j.payload() for j in miss_jobs]
+            # One trace per unique miss: the client.job event below is
+            # the root span, the payload carries its context across
+            # pool/coordinator/worker boundaries, and every solver span
+            # parents under it. Digests are unchanged — ThroughputJob
+            # hashes only its explicit fields, never the payload dict.
+            job_traces: Dict[str, tuple] = {}
+            if tracing_enabled():
+                for job, payload in zip(miss_jobs, payloads):
+                    root = (new_trace_id(), new_trace_id())
+                    job_traces[job.digest] = root
+                    payload["trace"] = {
+                        "trace_id": root[0], "parent_id": root[1],
+                    }
+            results = self._solve_payloads(payloads)
+            for job, result in zip(miss_jobs, results):
+                # A queue-routed job answered by the coordinator's cache
+                # arrives tagged cache_hit="remote"; local solves carry "".
+                outcome = JobOutcome.from_solve(
+                    job, result, cache_hit=result.get("cache_hit", "")
+                )
+                if outcome.cacheable:
+                    stored = outcome.to_json_dict()
+                    stored["cache_hit"] = ""
+                    self.cache.put(job.digest, stored)
+                root = job_traces.get(job.digest)
+                if root is not None:
+                    # After the cache put: trace ids never hit the
+                    # cache (the PR-5 disk layout stays byte-identical).
+                    outcome.trace_id = root[0]
+                    emit_event(
+                        "client.job", trace_id=root[0], span_id=root[1],
+                        dur=outcome.wall_time,
+                        digest=job.digest[:12], status=outcome.status,
+                    )
+                owners = followers[job.digest]
+                outcomes[owners[0]] = outcome
+                for extra in owners[1:]:
+                    duplicate = JobOutcome.from_json_dict(
+                        outcome.to_json_dict())
+                    duplicate.cache_hit = "batch"
+                    duplicate.label = jobs[extra].label or duplicate.label
+                    outcomes[extra] = duplicate
+
+            final = [o for o in outcomes if o is not None]
+            if len(final) != len(jobs):  # pragma: no cover - invariant
+                raise RuntimeError("service lost track of a job outcome")
+            # Queue-routed jobs answered by the coordinator's cache
+            # ("remote") were never solved for us — don't count them.
+            solves = sum(
+                1 for result in results if not result.get("cache_hit")
             )
-            if outcome.cacheable:
-                stored = outcome.to_json_dict()
-                stored["cache_hit"] = ""
-                self.cache.put(job.digest, stored)
-            owners = followers[job.digest]
-            outcomes[owners[0]] = outcome
-            for extra in owners[1:]:
-                duplicate = JobOutcome.from_json_dict(outcome.to_json_dict())
-                duplicate.cache_hit = "batch"
-                duplicate.label = jobs[extra].label or duplicate.label
-                outcomes[extra] = duplicate
-
-        final = [o for o in outcomes if o is not None]
-        if len(final) != len(jobs):  # pragma: no cover - invariant
-            raise RuntimeError("service lost track of a job outcome")
-        # Queue-routed jobs answered by the coordinator's cache
-        # ("remote") were never solved for us — don't count them.
-        solves = sum(
-            1 for result in results if not result.get("cache_hit")
-        )
+            batch_span.attrs["misses"] = len(miss_jobs)
+            if job_traces and self._queue is not None:
+                self._ship_trace_events(
+                    [root[0] for root in job_traces.values()]
+                )
         self._record(final, solves, time.perf_counter() - started)
         return final
+
+    def _ship_trace_events(self, trace_ids: List[str]) -> None:
+        """Post this client's buffered span events to the coordinator.
+
+        Queue mode only: the coordinator aggregates them into its trace
+        store so ``GET /trace/<id>`` shows the client leg next to the
+        coordinator and worker legs. Best-effort — tracing never fails
+        a batch.
+        """
+        post = getattr(self._queue, "post_trace", None)
+        if post is None:
+            return
+        events = collect_events(trace_ids, clear=True)
+        if not events:
+            return
+        try:
+            post(events)
+        except Exception:  # noqa: BLE001 - observability is best-effort
+            pass
 
     def map(
         self,
@@ -525,36 +608,48 @@ class ThroughputService:
         self, outcomes: List[JobOutcome], solves: int, wall: float
     ) -> None:
         with self._lock:
-            self._stats.jobs += len(outcomes)
-            self._stats.solves += solves
-            self._stats.batch_dedup += sum(
+            self._solves_cell.inc(solves)
+            self._dedup_cell.inc(sum(
                 1 for o in outcomes if o.cache_hit == "batch"
-            )
+            ))
             # Routing counters describe fresh solves only: a cached
             # outcome's flags describe how it was solved *back then*.
-            self._stats.batched += sum(
+            self._batched_cell.inc(sum(
                 1 for o in outcomes if o.batched and not o.cache_hit
-            )
-            self._stats.fallback += sum(
+            ))
+            self._fallback_cell.inc(sum(
                 1 for o in outcomes if o.fallback and not o.cache_hit
-            )
-            self._stats.wall_time += wall
+            ))
+            self._wall_cell.inc(wall)
+            self._batch_seconds.observe(wall)
             for outcome in outcomes:
-                self._stats.by_status[outcome.status] = (
-                    self._stats.by_status.get(outcome.status, 0) + 1
-                )
+                self._jobs_metric.labels(status=outcome.status).inc()
 
     def stats(self) -> ServiceStats:
-        """A snapshot of the service, cache and pool counters."""
+        """A snapshot of the service, cache and pool counters.
+
+        Every number is read back from the service's registry cells —
+        the same cells ``/metrics`` renders — so this view is the
+        fabric-wide source of truth, not a parallel set of counters.
+        """
         with self._lock:
+            by_status = {
+                key[0]: int(value) for key, value in
+                self._registry.samples("repro_service_jobs_total").items()
+            }
             snapshot = ServiceStats(
-                jobs=self._stats.jobs,
-                solves=self._stats.solves,
-                batch_dedup=self._stats.batch_dedup,
-                batched=self._stats.batched,
-                fallback=self._stats.fallback,
-                by_status=dict(self._stats.by_status),
-                wall_time=self._stats.wall_time,
+                jobs=int(sum(by_status.values())),
+                solves=int(self._registry.value(
+                    "repro_service_solves_total")),
+                batch_dedup=int(self._registry.value(
+                    "repro_service_batch_dedup_total")),
+                batched=int(self._registry.value(
+                    "repro_service_batched_total")),
+                fallback=int(self._registry.value(
+                    "repro_service_fallback_total")),
+                by_status=by_status,
+                wall_time=float(self._registry.value(
+                    "repro_service_wall_seconds_total")),
                 cache=self.cache.stats.as_dict(),
                 pool=(
                     self._pool.stats.as_dict()

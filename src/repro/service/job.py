@@ -175,6 +175,11 @@ class JobOutcome:
     worker_pid: int = 0
     error: str = ""
     label: str = ""
+    #: Flight-recorder trace id of the solve that produced this outcome
+    #: ("" when tracing was off). Never written into the result cache —
+    #: the facade strips it before a put, so the on-disk layout is
+    #: unchanged and repeats get their own trace.
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -238,6 +243,8 @@ class JobOutcome:
             out["error"] = self.error
         if self.label:
             out["label"] = self.label
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
         return out
 
     @classmethod
@@ -260,4 +267,5 @@ class JobOutcome:
             worker_pid=payload.get("worker_pid", 0),
             error=payload.get("error", ""),
             label=payload.get("label", ""),
+            trace_id=payload.get("trace_id", ""),
         )

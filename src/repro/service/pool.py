@@ -46,6 +46,18 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.kperiodic.fleet import solve_fleet_payloads
 from repro.model.graph import CsdfGraph
+from repro.obs.metrics import REGISTRY as _REGISTRY
+from repro.obs.trace import span as _span
+
+# Global mirrors of PoolStats: the dataclass stays the per-pool view,
+# these cells feed the same numbers to /metrics.
+_POOL_CHUNKS = _REGISTRY.counter("repro_pool_chunks_total")
+_POOL_JOBS = _REGISTRY.counter("repro_pool_jobs_total")
+_POOL_FAILURES = _REGISTRY.counter("repro_pool_failures_total")
+_POOL_TIMEOUTS = _POOL_FAILURES.labels(kind="timeout")
+_POOL_CRASHES = _POOL_FAILURES.labels(kind="crash")
+_POOL_CANCELLED = _POOL_FAILURES.labels(kind="cancelled")
+_POOL_RECYCLES = _REGISTRY.counter("repro_pool_recycles_total")
 
 #: Per-worker graphs kept parsed between jobs of one batch. Sized above
 #: typical fleet working sets: a cyclic replay of N graphs through an
@@ -87,9 +99,10 @@ def solve_chunk(payloads: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
     expansion block caches still carry across jobs.
     """
     payloads = list(payloads)
-    return solve_fleet_payloads(
-        payloads, graphs=[_cached_graph(p) for p in payloads]
-    )
+    with _span("pool.chunk", jobs=len(payloads)):
+        return solve_fleet_payloads(
+            payloads, graphs=[_cached_graph(p) for p in payloads]
+        )
 
 
 def _warm_worker() -> None:
@@ -187,6 +200,7 @@ class SolverPool:
         if executor is None:
             return
         self.stats.recycles += 1
+        _POOL_RECYCLES.inc()
         # Kill live workers first: shutdown() alone would block behind a
         # hung or doomed job, and a timed-out worker never becomes
         # reusable anyway. _processes is stdlib-private but stable; the
@@ -205,6 +219,8 @@ class SolverPool:
         """Submit one chunk; the future resolves to its outcome dicts."""
         self.stats.chunks += 1
         self.stats.jobs += len(payloads)
+        _POOL_CHUNKS.inc()
+        _POOL_JOBS.inc(len(payloads))
         return self._ensure_executor().submit(
             self._worker_fn, list(payloads)
         )
@@ -253,6 +269,7 @@ class SolverPool:
                 results[index] = future.result(timeout=timeout)
             except FutureTimeoutError:
                 self.stats.timeouts += len(chunks[index])
+                _POOL_TIMEOUTS.inc(len(chunks[index]))
                 results[index] = self._synthetic(
                     chunks[index], "TIMEOUT",
                     f"chunk exceeded {timeout:.3g}s in the solver pool",
@@ -264,6 +281,7 @@ class SolverPool:
                     futures[later] = self.submit_chunk(chunks[later])
             except BrokenProcessPool:
                 self.stats.crashes += len(chunks[index])
+                _POOL_CRASHES.inc(len(chunks[index]))
                 results[index] = self._synthetic(
                     chunks[index], "ERROR", "solver pool worker crashed",
                 )
@@ -300,6 +318,7 @@ class SolverPool:
                 future.cancel()
             if results[later] is None:
                 self.stats.cancelled += len(chunks[later])
+                _POOL_CANCELLED.inc(len(chunks[later]))
                 results[later] = self._synthetic(
                     chunks[later], "CANCELLED", f"batch {reason}",
                 )

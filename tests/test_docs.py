@@ -73,6 +73,53 @@ def test_service_guide_is_linked_from_readme_and_architecture():
     assert "docs/service.md" in architecture
 
 
+def test_observability_guide_metric_table_matches_registry():
+    """docs/observability.md's metric table is pinned to the live
+    declaration table — adding, renaming, retyping or relabeling a
+    family must update the doc, not let it go stale."""
+    from repro.obs.metrics import METRICS
+
+    guide = (ROOT / "docs" / "observability.md").read_text()
+    for name, spec in METRICS.items():
+        row = re.search(rf"^\| `{re.escape(name)}` \|.*$", guide,
+                        re.MULTILINE)
+        assert row, f"docs/observability.md must list {name}"
+        assert f"| {spec.type} |" in row.group(0), (
+            f"docs/observability.md row for {name} disagrees with the "
+            f"declared type {spec.type}"
+        )
+        labels = ", ".join(spec.labels) if spec.labels else "—"
+        assert f"| {labels} |" in row.group(0), (
+            f"docs/observability.md row for {name} disagrees with the "
+            f"declared labels {spec.labels}"
+        )
+    # no documented ghosts: every table row is a declared family
+    for row in re.findall(r"^\| `(repro_[a-z_]+)` \|", guide,
+                          re.MULTILINE):
+        assert row in METRICS, (
+            f"docs/observability.md documents {row}, which is not in "
+            f"repro.obs.METRICS"
+        )
+
+
+def test_observability_guide_covers_spans_and_surfaces():
+    guide = (ROOT / "docs" / "observability.md").read_text()
+    for name in ("service.batch", "client.job", "pool.chunk",
+                 "job.solve", "kiter.round", "fleet.round",
+                 "worker.solve", "worker.nack", "coordinator.enqueue",
+                 "coordinator.result"):
+        assert f"`{name}`" in guide, (
+            f"docs/observability.md span taxonomy must cover {name}"
+        )
+    for surface in ("REPRO_TRACE", "--trace", "repro trace",
+                    "/metrics", "/trace/", "repro-bench/1"):
+        assert surface in guide
+    readme = (ROOT / "README.md").read_text()
+    architecture = (ROOT / "ARCHITECTURE.md").read_text()
+    assert "docs/observability.md" in readme
+    assert "docs/observability.md" in architecture
+
+
 def test_cli_distributed_verbs_exist():
     from repro.cli import build_parser
 
