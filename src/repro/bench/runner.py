@@ -159,6 +159,55 @@ def run_method(
     return MethodOutcome("OK", period, elapsed)
 
 
+def schedule_policy_names() -> list:
+    """Every policy name ``run_schedule_policy`` accepts — the registry,
+    verbatim, so a newly registered policy is immediately benchable."""
+    from repro.scheduling import policy_names
+
+    return policy_names()
+
+
+def run_schedule_policy(
+    policy: str,
+    graph,
+    budget: float,
+    *,
+    engine: str = "ratio-iteration",
+    binding=None,
+    **options,
+) -> MethodOutcome:
+    """Build one policy's schedule under a wall-clock budget.
+
+    The outcome grid matches :func:`run_method`: ``OK`` carries the
+    certified ``Ω`` (every policy certifies the same one — that equality
+    is a bench *gate*, not just a table row), ``N/S`` means the policy
+    proved its own formulation infeasible (a resource binding too tight
+    for the certified period), and ``DEADLOCK``/``TIMEOUT`` pass
+    through from the solve.
+    """
+    from repro.exceptions import SchedulingError
+    from repro.scheduling import build_schedule, get_policy
+
+    get_policy(policy)  # fail fast on unknown policy names
+    start = time.perf_counter()
+    try:
+        outcome = build_schedule(
+            graph, policy, engine=engine, binding=binding,
+            time_budget=budget, **options,
+        )
+    except BudgetExceededError:
+        return MethodOutcome("TIMEOUT", None, budget)
+    except DeadlockError:
+        return MethodOutcome(
+            "DEADLOCK", None, time.perf_counter() - start
+        )
+    except SchedulingError:
+        return MethodOutcome("N/S", None, time.perf_counter() - start)
+    return MethodOutcome(
+        "OK", outcome.omega, time.perf_counter() - start
+    )
+
+
 class _NotSchedulable(Exception):
     """Internal marker: the method's own relaxation is infeasible."""
 

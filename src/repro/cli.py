@@ -469,24 +469,46 @@ def cmd_convert(args) -> int:
     return 0
 
 
+def _binding_from_args(graph, args):
+    """``--resources N`` → a balanced N-processor unit-capacity binding."""
+    resources = getattr(args, "resources", None)
+    if not resources:
+        return None
+    from repro.scheduling import ResourceBinding
+
+    return ResourceBinding.balanced(graph, resources)
+
+
+def _policy_options_from_args(args):
+    # only forward what the user actually set — policies reject options
+    # they don't understand, which is the right failure for e.g.
+    # ``--policy asap --priority mobility``.
+    options = {}
+    priority = getattr(args, "priority", None)
+    if priority:
+        options["priority"] = priority
+    return options
+
+
 def cmd_gantt(args) -> int:
-    from repro.scheduling import asap_schedule, render_gantt
+    from repro.scheduling import asap_schedule, policy_gantt, render_gantt
 
     graph = _read_graph(args.graph)
-    if args.kperiodic:
-        from repro.kperiodic import min_period_for_k, throughput_kiter
-        from repro.scheduling import schedule_to_firings
-
-        exact = throughput_kiter(graph)
-        result = min_period_for_k(graph, exact.K)
-        records = schedule_to_firings(
-            result.schedule, graph, horizon_iterations=args.iterations
-        )
-        print(f"optimal K-periodic schedule, Ω = {result.omega}, "
-              f"K = {exact.K}")
-    else:
-        records = asap_schedule(graph, iterations=args.iterations)
-        print("as-soon-as-possible schedule")
+    policy = args.policy
+    if args.kperiodic and policy is None:
+        policy = "asap"  # historic spelling of --policy asap
+    if policy is not None:
+        print(policy_gantt(
+            graph, policy,
+            engine=args.engine,
+            binding=_binding_from_args(graph, args),
+            horizon_iterations=args.iterations,
+            width=args.width,
+            **_policy_options_from_args(args),
+        ))
+        return 0
+    records = asap_schedule(graph, iterations=args.iterations)
+    print("as-soon-as-possible schedule (self-timed simulation)")
     print(render_gantt(records, width=args.width))
     return 0
 
@@ -543,19 +565,22 @@ def cmd_generate(args) -> int:
 
 def cmd_schedule(args) -> int:
     from repro.io.schedule_format import save_schedule
-    from repro.kperiodic import min_period_for_k, throughput_kiter
+    from repro.scheduling import build_schedule
 
     graph = _read_graph(args.graph)
-    exact = throughput_kiter(graph)
-    result = min_period_for_k(graph, exact.K)
-    schedule = result.schedule
-    if schedule is None:
-        print("graph has unbounded throughput; no finite-period schedule")
-        return 1
-    schedule.verify(graph, iterations=3)
-    save_schedule(schedule, args.output)
-    print(f"period: {result.omega}")
-    print(f"K: {exact.K}")
+    outcome = build_schedule(
+        graph, args.policy or "asap",
+        engine=args.engine,
+        binding=_binding_from_args(graph, args),
+        **_policy_options_from_args(args),
+    )
+    outcome.schedule.verify(graph, iterations=3)
+    save_schedule(outcome.schedule, args.output)
+    print(f"policy: {outcome.policy}")
+    print(f"period: {outcome.omega}")
+    print(f"K: {outcome.K}")
+    for key in sorted(outcome.stats):
+        print(f"  {key}: {outcome.stats[key]}")
     print(f"schedule verified over 3 iterations and written to "
           f"{args.output}")
     return 0
@@ -600,6 +625,27 @@ def cmd_engines(args) -> int:
         print(f"  {info.name:<16} [{', '.join(flags)}]")
         if info.summary:
             print(f"  {'':<16} {info.summary}")
+    return 0
+
+
+def cmd_policies(args) -> int:
+    from repro.scheduling import all_policies, priority_names
+
+    print("registered scheduling policies "
+          "(selectable via schedule/gantt --policy):")
+    print()
+    for info in all_policies():
+        flags = []
+        if info.resource_constrained:
+            flags.append("resource-constrained")
+        if info.refinement:
+            flags.append("refinement")
+        flags.append("certified-period")  # the family invariant
+        print(f"  {info.name:<16} [{', '.join(flags)}]")
+        if info.summary:
+            print(f"  {'':<16} {info.summary}")
+    print()
+    print(f"list-scheduling priorities: {', '.join(priority_names())}")
     return 0
 
 
@@ -792,7 +838,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=100)
     p.add_argument("--kperiodic", action="store_true",
                    help="render the optimal K-periodic schedule "
-                        "instead of ASAP")
+                        "instead of the self-timed simulation "
+                        "(alias for --policy asap)")
+    p.add_argument("--policy", default=None,
+                   help="render a registered scheduling policy's "
+                        "K-periodic schedule (see `repro policies`)")
+    p.add_argument("--engine", default="ratio-iteration",
+                   help="MCRP engine for the certification solve")
+    p.add_argument("--resources", type=int, default=None,
+                   help="balanced N-processor unit-capacity binding "
+                        "for resource-constrained policies")
+    p.add_argument("--priority", default=None,
+                   help="list-scheduling priority function")
     p.set_defaults(func=cmd_gantt)
 
     p = sub.add_parser("generate", help="emit a benchmark graph")
@@ -803,9 +860,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("schedule",
-                       help="export the certified optimal schedule")
+                       help="export a certified schedule "
+                            "(any registered policy)")
     p.add_argument("graph")
     p.add_argument("-o", "--output", required=True)
+    p.add_argument("--policy", default="asap",
+                   help="scheduling policy (see `repro policies`)")
+    p.add_argument("--engine", default="ratio-iteration",
+                   help="MCRP engine for the certification solve")
+    p.add_argument("--resources", type=int, default=None,
+                   help="balanced N-processor unit-capacity binding "
+                        "for resource-constrained policies")
+    p.add_argument("--priority", default=None,
+                   help="list-scheduling priority function")
     p.set_defaults(func=cmd_schedule)
 
     p = sub.add_parser("map", help="throughput under greedy mappings")
@@ -817,6 +884,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("engines",
                        help="list the registered MCRP engines")
     p.set_defaults(func=cmd_engines)
+
+    p = sub.add_parser("policies",
+                       help="list the registered scheduling policies")
+    p.set_defaults(func=cmd_policies)
 
     p = sub.add_parser("bench", help="regenerate a paper table")
     p.add_argument("table", choices=["table1", "table2"])

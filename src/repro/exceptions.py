@@ -70,3 +70,17 @@ class BudgetExceededError(ReproError):
 
 class SolverError(ReproError):
     """An internal solver failed to certify its result (should not happen)."""
+
+
+class SchedulingError(ReproError):
+    """A schedule-construction policy could not produce a schedule.
+
+    Raised by the scheduling-policy registry for unknown policy names or
+    options, and by resource-constrained policies when no start times
+    within the mobility windows respect the binding's capacity at the
+    *certified* period. The latter is not a solver bug: a binding can
+    genuinely be too tight for ``λ*`` — the principled escalation is to
+    transform the graph with :func:`repro.mapping.apply_mapping` (which
+    folds the resource constraint into the dataflow) and schedule the
+    mapped graph at *its* certified period instead.
+    """

@@ -1,18 +1,91 @@
 """Explicit schedule construction and rendering.
 
+* :mod:`repro.scheduling.registry` — the scheduling-policy registry:
+  every way of turning a certified ``λ*`` into concrete start times is
+  a registered *policy* sharing one
+  :class:`~repro.scheduling.registry.ScheduleContext`.
 * :mod:`repro.scheduling.asap` — event-driven self-timed (as-soon-as-
   possible) execution of a CSDFG; substrate of the symbolic-execution
-  baseline, the liveness check, and the paper's Figure 3.
+  baseline, the liveness check, and the paper's Figure 3 — plus the
+  ``asap`` policy (earliest potentials).
+* :mod:`repro.scheduling.alap` — latest starts against the reversed
+  constraint graph (the ``alap`` policy).
+* :mod:`repro.scheduling.mobility` — exact slack windows
+  ``[ASAP, ALAP]`` per task instance.
+* :mod:`repro.scheduling.list_scheduling` — resource-constrained list
+  scheduling over the K-periodic instance set (the ``list`` policy)
+  with :class:`~repro.scheduling.list_scheduling.ResourceBinding`.
+* :mod:`repro.scheduling.force_directed` — distribution-graph pressure
+  flattening (the ``force-directed`` policy).
+* :mod:`repro.scheduling.timeline` — exact cyclic occupancy model the
+  resource-aware policies share.
 * :mod:`repro.scheduling.gantt` — ASCII Gantt charts (Figures 3 and 4).
 """
 
 from repro.scheduling.asap import AsapSimulator, FiringRecord, asap_schedule
-from repro.scheduling.gantt import render_gantt, schedule_to_firings
+from repro.scheduling.alap import (
+    latest_path_potentials,
+    reverse_bi_graph,
+    reverse_longest_walks,
+)
+from repro.scheduling.force_directed import build_force_directed  # noqa: F401
+from repro.scheduling.gantt import (
+    policy_gantt,
+    render_gantt,
+    schedule_to_firings,
+)
+from repro.scheduling.list_scheduling import (
+    ResourceBinding,
+    periodic_peaks,
+    priority_names,
+)
+from repro.scheduling.mobility import (
+    InstanceMobility,
+    MobilityReport,
+    mobility_from_context,
+    mobility_report,
+)
+from repro.scheduling.registry import (
+    PolicyInfo,
+    PolicyOutcome,
+    ScheduleContext,
+    all_policies,
+    build_from_context,
+    build_schedule,
+    get_policy,
+    policy_names,
+    register_policy,
+    schedule_context,
+)
+from repro.scheduling.timeline import PeriodicTimeline, hyperperiod
 
 __all__ = [
     "AsapSimulator",
     "FiringRecord",
+    "InstanceMobility",
+    "MobilityReport",
+    "PeriodicTimeline",
+    "PolicyInfo",
+    "PolicyOutcome",
+    "ResourceBinding",
+    "ScheduleContext",
+    "all_policies",
     "asap_schedule",
+    "build_from_context",
+    "build_schedule",
+    "get_policy",
+    "hyperperiod",
+    "latest_path_potentials",
+    "mobility_from_context",
+    "mobility_report",
+    "periodic_peaks",
+    "policy_gantt",
+    "policy_names",
+    "priority_names",
+    "register_policy",
     "render_gantt",
+    "reverse_bi_graph",
+    "reverse_longest_walks",
+    "schedule_context",
     "schedule_to_firings",
 ]

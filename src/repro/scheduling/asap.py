@@ -304,3 +304,32 @@ def asap_schedule(
                 "during ASAP recording"
             )
     return records
+
+
+# ----------------------------------------------------------------------
+# Registry entry: ASAP as a K-periodic policy
+# ----------------------------------------------------------------------
+from repro.scheduling.registry import (  # noqa: E402  (policy block)
+    register_policy,
+    reject_unknown_options,
+)
+
+
+@register_policy(
+    "asap",
+    summary="earliest starts at λ* (longest-path potentials from the "
+            "zero source) — the certified baseline",
+)
+def build_asap_policy(ctx, *, binding=None, **options):
+    """The least solution ≥ 0 of the constraint system — every other
+    policy's lower window edge and the conformance baseline."""
+    reject_unknown_options("asap", options)
+    starts = ctx.asap_potentials()
+    makespan = max(
+        (starts[i.node] + i.duration for i in ctx.instances()),
+        default=Fraction(0),
+    )
+    return starts, {
+        "pattern_makespan": makespan,
+        "instances": len(ctx.instances()),
+    }

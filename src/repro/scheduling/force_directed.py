@@ -1,0 +1,283 @@
+"""Force-directed refinement of the K-periodic schedule.
+
+Paulin & Knight's force-directed scheduling, adapted to the cyclic
+steady state: the *distribution graph* is the exact periodic occupancy
+of each resource over the hyperperiod (:class:`~repro.scheduling.
+timeline.PeriodicTimeline`), and the objective is to flatten it —
+lexicographically minimize ``(peak concurrency, ∫ usage² dt)`` — by
+moving instances inside their mobility windows. The certified period is
+never touched: every candidate start lies in the instance's current
+``[lo, hi]`` projection interval, and after each commitment both bound
+vectors are re-closed over the constraint arcs, which for difference
+constraints keeps the windows *exact* (each remaining interval is fully
+attainable), so the refinement can never paint itself into infeasibility.
+
+Instances are committed tightest-window-first; candidates are the
+window edges plus starts aligning the firing against the distribution
+graph's current boundaries (occupancy changes only at alignments, so
+the continuum of starts collapses to this finite set). A final
+guard compares the refined distribution against plain ASAP and falls
+back when refinement did not improve — the policy's contract is
+``peak ≤ ASAP peak``, always.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import SolverError
+from repro.scheduling.list_scheduling import ResourceBinding, build_timelines
+from repro.scheduling.registry import (
+    ScheduleContext,
+    register_policy,
+    reject_unknown_options,
+)
+from repro.scheduling.timeline import PeriodicTimeline
+
+
+def _distribution_metrics(
+    ctx: ScheduleContext,
+    binding: ResourceBinding,
+    starts: List[Fraction],
+) -> Tuple[int, Fraction]:
+    """``(max peak over resources, Σ pressure)`` of a start vector."""
+    _period, timelines = build_timelines(
+        ctx, binding, enforce_capacity=False
+    )
+    for inst in ctx.instances():
+        timelines[binding.resource_of(inst.task)].add(
+            inst.key, starts[inst.node], inst.duration, inst.period
+        )
+    peak = max((tl.peak() for tl in timelines.values()), default=0)
+    pressure = sum(
+        (tl.pressure() for tl in timelines.values()), Fraction(0)
+    )
+    return peak, pressure
+
+
+def _close_windows(
+    bi,
+    weights,
+    in_arcs: Dict[int, List[int]],
+    lo: List[Fraction],
+    hi: List[Fraction],
+    seeds: List[int],
+) -> None:
+    """Re-close both bound vectors after ``seeds`` changed (queue
+    relaxation; exact projections for difference constraints)."""
+    from collections import deque
+
+    queue = deque(seeds)
+    queued = set(seeds)
+    while queue:
+        node = queue.popleft()
+        queued.discard(node)
+        for arc in bi.out_arcs(node):
+            succ = bi.arc_dst[arc]
+            bound = lo[node] + weights[arc]
+            if bound > lo[succ]:
+                lo[succ] = bound
+                if succ not in queued:
+                    queued.add(succ)
+                    queue.append(succ)
+        for arc in in_arcs.get(node, ()):
+            pred = bi.arc_src[arc]
+            bound = hi[node] - weights[arc]
+            if bound < hi[pred]:
+                hi[pred] = bound
+                if pred not in queued:
+                    queued.add(pred)
+                    queue.append(pred)
+    for node in range(bi.node_count):
+        if lo[node] > hi[node]:
+            raise SolverError(
+                "force-directed window closure emptied an interval "
+                "(internal error)"
+            )
+
+
+def _candidate_starts(
+    tl: PeriodicTimeline,
+    lo: Fraction,
+    hi: Fraction,
+    duration: int,
+    repeat: Fraction,
+    limit: int,
+) -> List[Fraction]:
+    """Window edges + boundary-aligned starts, capped at ``limit``.
+
+    Boundary scan is subsampled (candidate *scoring* steers quality,
+    never feasibility, so thinning the anchor set is safe) to keep the
+    per-instance cost bounded on dense distribution graphs.
+    """
+    residues = set()
+    d = Fraction(duration)
+    for b in tl.boundary_sample(4 * limit):
+        residues.add(b % repeat)
+        residues.add((b - d) % repeat)
+    aligned = []
+    for r in residues:
+        s = lo + (r - lo) % repeat
+        if lo < s < hi:
+            aligned.append(s)
+    aligned.sort()
+    if len(aligned) > max(limit - 2, 0):
+        step = len(aligned) / max(limit - 2, 1)
+        aligned = [
+            aligned[int(i * step)] for i in range(max(limit - 2, 1))
+        ]
+    out = [lo] + aligned + ([hi] if hi != lo else [])
+    return out
+
+
+class _FloatDistribution:
+    """Float mirror of one resource's occupancy, for candidate scoring.
+
+    Feasibility never depends on it (the mobility windows guarantee
+    precedence and period), so scoring may run on floats: event *times*
+    are approximate, the concurrency *counts* stay exact integers. The
+    committed schedule and the final fallback comparison are evaluated
+    in exact Fractions by :func:`_distribution_metrics`.
+    """
+
+    def __init__(self) -> None:
+        # kept sorted; (t, delta) tuple order puts ends (-1) before
+        # starts (+1) at equal times, so touching pieces never overlap.
+        self.events: List[Tuple[float, int]] = []
+
+    def commit(self, pieces) -> None:
+        from bisect import insort
+
+        for a, b in pieces:
+            insort(self.events, (float(a), 1))
+            insort(self.events, (float(b), -1))
+
+    def score(self, pieces) -> Tuple[int, float]:
+        """``(peak, pressure)`` with the candidate pieces added —
+        one merge walk over the presorted mirror, no per-call sort."""
+        extra = []
+        for a, b in pieces:
+            extra.append((float(a), 1))
+            extra.append((float(b), -1))
+        extra.sort()
+        stored = self.events
+        i = j = 0
+        n, m = len(stored), len(extra)
+        count = peak = 0
+        pressure = 0.0
+        prev = 0.0
+        while i < n or j < m:
+            if j >= m or (i < n and stored[i] <= extra[j]):
+                t, delta = stored[i]
+                i += 1
+            else:
+                t, delta = extra[j]
+                j += 1
+            if count and t > prev:
+                pressure += count * count * (t - prev)
+            prev = t
+            count += delta
+            if count > peak:
+                peak = count
+        return peak, pressure
+
+
+@register_policy(
+    "force-directed",
+    refinement=True,
+    summary="distribution-graph refinement: flatten periodic resource "
+            "pressure inside the mobility windows (peak ≤ ASAP peak)",
+)
+def build_force_directed(
+    ctx: ScheduleContext,
+    *,
+    binding: Optional[ResourceBinding] = None,
+    candidate_limit: int = 12,
+    **options,
+):
+    reject_unknown_options("force-directed", options)
+    if binding is None:
+        binding = ResourceBinding.unlimited(ctx.graph)
+    binding.validate(ctx.graph)
+    if candidate_limit < 2:
+        candidate_limit = 2
+
+    asap = ctx.asap_potentials()
+    alap = ctx.alap_potentials()
+    instances = ctx.instances()
+    peak_before, pressure_before = _distribution_metrics(
+        ctx, binding, asap
+    )
+
+    _period, timelines = build_timelines(
+        ctx, binding, enforce_capacity=False
+    )
+    mirrors = {r: _FloatDistribution() for r in timelines}
+    peaks = {r: 0 for r in timelines}
+    weights = ctx.arc_weights()
+    bi = ctx.bi_graph
+    in_arcs: Dict[int, List[int]] = {}
+    for i in range(bi.arc_count):
+        in_arcs.setdefault(bi.arc_dst[i], []).append(i)
+    lo = list(asap)
+    hi = list(alap)
+
+    order = sorted(
+        instances,
+        key=lambda i: (hi[i.node] - lo[i.node], lo[i.node], i.key),
+    )
+    for inst in order:
+        node = inst.node
+        resource = binding.resource_of(inst.task)
+        tl = timelines[resource]
+        mirror = mirrors[resource]
+        if lo[node] == hi[node] or inst.duration == 0:
+            start = lo[node]
+            chosen_pieces = tl.occurrence_pieces(
+                start, inst.duration, inst.period
+            )
+        else:
+            others_peak = max(
+                (p for r, p in peaks.items() if r != resource),
+                default=0,
+            )
+            best = None
+            for cand in _candidate_starts(
+                tl, lo[node], hi[node], inst.duration, inst.period,
+                candidate_limit,
+            ):
+                pieces = tl.occurrence_pieces(
+                    cand, inst.duration, inst.period
+                )
+                peak, pressure = mirror.score(pieces)
+                score = (max(peak, others_peak), pressure, cand)
+                if best is None or score < best:
+                    best = score
+                    start = cand
+                    chosen_pieces = pieces
+                    chosen_peak = peak
+            peaks[resource] = max(peaks[resource], chosen_peak)
+        tl.add(node, start, inst.duration, inst.period)
+        mirror.commit(chosen_pieces)
+        lo[node] = hi[node] = start
+        _close_windows(bi, weights, in_arcs, lo, hi, [node])
+
+    refined = list(lo)
+    peak_after, pressure_after = _distribution_metrics(
+        ctx, binding, refined
+    )
+    fallback = (peak_after, pressure_after) > (peak_before, pressure_before)
+    if fallback:
+        refined = list(asap)
+        peak_after, pressure_after = peak_before, pressure_before
+    stats = {
+        "binding": binding.describe(),
+        "peak_before": peak_before,
+        "peak_after": peak_after,
+        "pressure_before": pressure_before,
+        "pressure_after": pressure_after,
+        "fallback": fallback,
+        "hyperperiod": _period,
+    }
+    return refined, stats

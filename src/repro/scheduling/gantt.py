@@ -54,6 +54,42 @@ def schedule_to_firings(
     return records
 
 
+def policy_gantt(
+    graph: CsdfGraph,
+    policy: str = "asap",
+    *,
+    engine: str = "ratio-iteration",
+    binding=None,
+    horizon_iterations: int = 2,
+    width: int = 100,
+    label_phases: bool = True,
+    **options,
+) -> str:
+    """Build a schedule with a registered policy and render it.
+
+    One call takes any policy of :mod:`repro.scheduling.registry` to an
+    ASCII chart — the CLI's ``repro gantt --policy`` path, and the
+    reason the conformance suite can render every registered policy
+    without per-policy glue.
+    """
+    from repro.scheduling.registry import build_schedule
+
+    outcome = build_schedule(
+        graph, policy, engine=engine, binding=binding, **options
+    )
+    records = schedule_to_firings(
+        outcome.schedule, graph, horizon_iterations=horizon_iterations
+    )
+    chart = render_gantt(
+        records, width=width, label_phases=label_phases
+    )
+    header = (
+        f"policy={outcome.policy}  Ω = {outcome.omega}  "
+        f"K={{{', '.join(f'{t}:{k}' for t, k in sorted(outcome.K.items()))}}}"
+    )
+    return header + "\n" + chart
+
+
 def render_gantt(
     records: Sequence[FiringRecord],
     *,

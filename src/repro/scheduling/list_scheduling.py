@@ -1,0 +1,354 @@
+"""Resource-constrained list scheduling of the K-periodic instance set.
+
+The policy keeps the certified period fixed and spends only the slack
+the mobility analysis found: each instance may start anywhere in its
+``[ASAP, ALAP]`` window, and the scheduler picks starts so that on every
+resource of a :class:`ResourceBinding` at most ``capacity`` bound
+firings execute concurrently — checked exactly on the hyperperiod
+circle (:mod:`repro.scheduling.timeline`).
+
+Instances are placed in ready order (earliest lower bound first, ties by
+a pluggable priority: ``mobility`` = tightest window first, or
+``critical-path`` = longest downstream tail first) at the earliest
+capacity-feasible start inside their window. Placing an instance raises
+the lower bounds of its constraint-graph successors (``S_dst ≥ S_src +
+w(e)``); a successor already placed below its new bound is *reopened*
+(unplaced, re-queued) — bounds only ever rise and never pass ALAP, so
+the process either settles or exhausts the reopen budget.
+
+Failure is honest: a binding can simply be too tight for the certified
+period — then no window placement exists and the policy raises
+:class:`~repro.exceptions.SchedulingError` instead of quietly stretching
+the period. The escalation path for that case is
+:func:`repro.mapping.transform.apply_mapping`, which folds the
+processors into the dataflow and lets K-Iter certify the (longer)
+achievable period of the mapped graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import SchedulingError, SolverError
+from repro.scheduling.registry import (
+    Instance,
+    ScheduleContext,
+    register_policy,
+    reject_unknown_options,
+)
+from repro.scheduling.timeline import PeriodicTimeline, hyperperiod
+
+#: Hard cap on Σ_instances (hyperperiod / µ_t): the number of firings a
+#: resource model must track. Far above every corpus graph; a guard, not
+#: a tuning knob.
+MAX_TOTAL_FIRINGS = 200_000
+
+
+class ResourceBinding:
+    """Task → resource assignment with per-resource capacities.
+
+    ``capacity=None`` means unlimited. The binding is the scheduling
+    layer's *contract* with :mod:`repro.mapping`: a
+    :class:`~repro.mapping.partition.Mapping`'s processor assignment
+    becomes a binding via :meth:`from_mapping` (static orders are
+    dropped — list scheduling re-derives the interleaving from slack,
+    it does not replay the mapping's sequence).
+    """
+
+    def __init__(
+        self,
+        assignment: Mapping[str, str],
+        capacities: Optional[Mapping[str, Optional[int]]] = None,
+        *,
+        default_capacity: Optional[int] = 1,
+    ):
+        self.assignment: Dict[str, str] = dict(assignment)
+        self.capacities: Dict[str, Optional[int]] = dict(capacities or {})
+        self.default_capacity = default_capacity
+
+    def resources(self) -> List[str]:
+        return sorted(set(self.assignment.values()))
+
+    def resource_of(self, task: str) -> str:
+        try:
+            return self.assignment[task]
+        except KeyError:
+            raise SchedulingError(
+                f"resource binding does not assign task {task!r}"
+            ) from None
+
+    def capacity_of(self, resource: str) -> Optional[int]:
+        return self.capacities.get(resource, self.default_capacity)
+
+    def validate(self, graph) -> None:
+        tasks = set(graph.task_names())
+        missing = tasks - set(self.assignment)
+        if missing:
+            raise SchedulingError(
+                f"resource binding leaves task(s) {sorted(missing)} unbound"
+            )
+        for resource in self.resources():
+            cap = self.capacity_of(resource)
+            if cap is not None and cap < 1:
+                raise SchedulingError(
+                    f"resource {resource!r} has capacity {cap} (must be "
+                    "≥ 1 or None for unlimited)"
+                )
+
+    def describe(self) -> str:
+        return ",".join(
+            f"{r}:{self.capacity_of(r) if self.capacity_of(r) is not None else '∞'}"
+            for r in self.resources()
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def unlimited(cls, graph, resource: str = "cpu") -> "ResourceBinding":
+        """All tasks on one capacity-unlimited resource (the neutral
+        binding: list scheduling degenerates to ASAP under it)."""
+        return cls(
+            {name: resource for name in graph.task_names()},
+            {resource: None},
+        )
+
+    @classmethod
+    def balanced(
+        cls,
+        graph,
+        resources: int = 2,
+        *,
+        capacity: int = 1,
+        repetition: Optional[Dict[str, int]] = None,
+    ) -> "ResourceBinding":
+        """LPT assignment by workload ``q_t·Σ_p d(t_p)`` over ``resources``
+        unit-capacity (by default) processors — the same heuristic as
+        :func:`repro.mapping.heuristics.greedy_load_balance`, without
+        the static orders."""
+        from repro.analysis.consistency import repetition_vector
+
+        if resources < 1:
+            raise SchedulingError(f"need ≥ 1 resource, got {resources}")
+        if repetition is None:
+            repetition = repetition_vector(graph)
+        workloads = {
+            t.name: repetition[t.name] * t.iteration_duration
+            for t in graph.tasks()
+        }
+        load = {f"cpu{i}": 0 for i in range(resources)}
+        assignment: Dict[str, str] = {}
+        for name in sorted(workloads, key=workloads.__getitem__, reverse=True):
+            proc = min(load, key=lambda p: (load[p], p))
+            assignment[name] = proc
+            load[proc] += workloads[name]
+        return cls(assignment, default_capacity=capacity)
+
+    @classmethod
+    def from_mapping(cls, mapping, *, capacity: int = 1) -> "ResourceBinding":
+        """Adopt a :class:`repro.mapping.partition.Mapping`'s processor
+        assignment as a binding (orders dropped, see class docstring)."""
+        return cls(dict(mapping.assignment), default_capacity=capacity)
+
+
+# ----------------------------------------------------------------------
+# Priority functions
+# ----------------------------------------------------------------------
+def _priority_mobility(inst, asap, alap, ctx) -> Tuple:
+    # tightest window first; longer firings break ties (harder to place)
+    return (alap[inst.node] - asap[inst.node], -inst.duration)
+
+
+def _priority_critical_path(inst, asap, alap, ctx) -> Tuple:
+    # longest downstream tail first (classic HLS critical-path rank)
+    return (-ctx.reverse_potentials()[inst.node],
+            alap[inst.node] - asap[inst.node])
+
+
+PRIORITIES: Dict[str, Callable] = {
+    "mobility": _priority_mobility,
+    "critical-path": _priority_critical_path,
+}
+
+
+def priority_names() -> List[str]:
+    return sorted(PRIORITIES)
+
+
+def get_priority(name: str) -> Callable:
+    fn = PRIORITIES.get(name)
+    if fn is None:
+        raise SchedulingError(
+            f"unknown list-scheduling priority {name!r}; "
+            f"choose from {sorted(PRIORITIES)}"
+        )
+    return fn
+
+
+# ----------------------------------------------------------------------
+def check_firing_budget(instances: List[Instance], period: Fraction) -> None:
+    total = sum(int(period / inst.period) for inst in instances)
+    if total > MAX_TOTAL_FIRINGS:
+        raise SchedulingError(
+            f"resource model would track {total} periodic firings "
+            f"(> {MAX_TOTAL_FIRINGS}); the hyperperiod is too fine for "
+            "resource-constrained scheduling of this instance"
+        )
+
+
+def build_timelines(
+    ctx: ScheduleContext,
+    binding: ResourceBinding,
+    *,
+    enforce_capacity: bool = True,
+) -> Tuple[Fraction, Dict[str, PeriodicTimeline]]:
+    """Empty per-resource timelines over the instance hyperperiod."""
+    instances = ctx.instances()
+    period = hyperperiod([inst.period for inst in instances])
+    check_firing_budget(instances, period)
+    timelines = {
+        r: PeriodicTimeline(
+            period, binding.capacity_of(r) if enforce_capacity else None
+        )
+        for r in binding.resources()
+    }
+    return period, timelines
+
+
+def periodic_peaks(
+    ctx: ScheduleContext,
+    schedule,
+    binding: ResourceBinding,
+) -> Dict[str, int]:
+    """Per-resource peak concurrency of a schedule's steady state
+    (the conformance suite's capacity oracle)."""
+    _period, timelines = build_timelines(ctx, binding, enforce_capacity=False)
+    for inst in ctx.instances():
+        start = schedule.starts[inst.key]
+        timelines[binding.resource_of(inst.task)].add(
+            inst.key, start, inst.duration, inst.period
+        )
+    return {r: tl.peak() for r, tl in timelines.items()}
+
+
+# ----------------------------------------------------------------------
+@register_policy(
+    "list",
+    resource_constrained=True,
+    summary="resource-constrained list scheduling inside the mobility "
+            "windows (pluggable priority; period stays λ*)",
+)
+def build_list_schedule(
+    ctx: ScheduleContext,
+    *,
+    binding: Optional[ResourceBinding] = None,
+    priority: str = "mobility",
+    **options,
+):
+    reject_unknown_options("list", options)
+    rank_fn = get_priority(priority)
+    if binding is None:
+        binding = ResourceBinding.unlimited(ctx.graph)
+    binding.validate(ctx.graph)
+
+    asap = ctx.asap_potentials()
+    alap = ctx.alap_potentials()
+    instances = ctx.instances()
+    by_node = {inst.node: inst for inst in instances}
+    _period, timelines = build_timelines(ctx, binding)
+    weights = ctx.arc_weights()
+    bi = ctx.bi_graph
+
+    lo: List[Fraction] = list(asap)
+    hi: List[Fraction] = list(alap)
+    rank = {
+        inst.node: rank_fn(inst, asap, alap, ctx) for inst in instances
+    }
+    placed: Dict[int, Fraction] = {}
+    heap: List[Tuple] = []
+    for inst in instances:
+        heapq.heappush(
+            heap, (lo[inst.node], rank[inst.node], inst.node)
+        )
+    reopen_budget = 20 * len(instances) + 100
+    reopened = 0
+    while heap:
+        bound, _rk, node = heapq.heappop(heap)
+        if node in placed or bound < lo[node]:
+            continue  # stale entry; a fresher one is in the heap
+        inst = by_node[node]
+        resource = binding.resource_of(inst.task)
+        start = timelines[resource].earliest_fit(
+            lo[node], hi[node], inst.duration, inst.period
+        )
+        if start is None:
+            raise SchedulingError(
+                f"policy 'list': no capacity-feasible start for instance "
+                f"{inst.key} on resource {resource!r} (window "
+                f"[{lo[node]}, {hi[node]}], binding {binding.describe()}) "
+                f"— the binding is too tight for the certified period "
+                f"Ω = {ctx.omega}; apply the mapping to the graph "
+                "(repro.mapping.apply_mapping) and schedule the mapped "
+                "graph at its own certified period instead"
+            )
+        placed[node] = start
+        timelines[resource].add(node, start, inst.duration, inst.period)
+        # Tighten successors: S_dst ≥ S_src + w(e). Bounds only rise and
+        # ALAP is an upper fixpoint, so new bounds never pass hi.
+        for arc in bi.out_arcs(node):
+            succ = bi.arc_dst[arc]
+            new_lo = start + weights[arc]
+            if new_lo <= lo[succ]:
+                continue
+            if new_lo > hi[succ]:
+                raise SolverError(
+                    "list scheduling drove a lower bound past ALAP: "
+                    "window invariant broken (internal error)"
+                )
+            lo[succ] = new_lo
+            if succ in placed and placed[succ] < new_lo:
+                reopened += 1
+                if reopened > reopen_budget:
+                    raise SchedulingError(
+                        "policy 'list': reopen budget exhausted "
+                        f"(> {reopen_budget}) — the binding "
+                        f"{binding.describe()} admits no stable placement "
+                        f"at Ω = {ctx.omega}; map the graph "
+                        "(repro.mapping.apply_mapping) instead"
+                    )
+                timelines[
+                    binding.resource_of(by_node[succ].task)
+                ].remove(succ)
+                del placed[succ]
+                heapq.heappush(heap, (lo[succ], rank[succ], succ))
+            elif succ not in placed:
+                heapq.heappush(heap, (lo[succ], rank[succ], succ))
+
+    if len(placed) != bi.node_count:
+        raise SolverError(
+            "constraint graph has nodes outside the instance set "
+            "(internal error)"
+        )
+    # Defence in depth: replay every constraint arc before handing the
+    # vector to schedule assembly.
+    for i in range(bi.arc_count):
+        if (placed[bi.arc_dst[i]] - placed[bi.arc_src[i]]) < weights[i]:
+            raise SolverError(
+                "list scheduling produced an infeasible start vector "
+                "(internal error)"
+            )
+    full = [Fraction(0)] * bi.node_count
+    for inst in instances:
+        full[inst.node] = placed[inst.node]
+    pattern_makespan = max(
+        (placed[i.node] + i.duration for i in instances), default=Fraction(0)
+    ) - min((placed[i.node] for i in instances), default=Fraction(0))
+    stats = {
+        "priority": priority,
+        "binding": binding.describe(),
+        "reopened": reopened,
+        "pattern_makespan": pattern_makespan,
+        "peaks": {r: tl.peak() for r, tl in timelines.items()},
+        "hyperperiod": _period,
+    }
+    return full, stats

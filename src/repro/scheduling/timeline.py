@@ -1,0 +1,216 @@
+"""Exact cyclic resource occupancy over one hyperperiod.
+
+Resource-aware policies reason about a K-periodic schedule's steady
+state: over the hyperperiod ``P = lcm_t(µ_t)`` every instance
+``⟨t_p, β⟩`` occurs exactly ``P/µ_t`` times, and the whole execution is
+that window repeated. :class:`PeriodicTimeline` models one resource's
+occupancy on the circle ``[0, P)`` in exact Fractions — intervals that
+cross the wrap point are split, firings longer than their own period
+contribute whole-circle covers — so capacity checks are decisions, not
+float comparisons.
+
+The key structural fact (used by ``earliest_fit``): an instance with
+period ``µ`` occupies ``{s + j·µ mod P : j}``, which depends on ``s``
+only through ``s mod µ``. Earliest-fit therefore only needs to test one
+start per *residue class*, and the candidate residues come from aligning
+the firing's start or end with a stored boundary — a finite, exact set.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.exceptions import SchedulingError
+
+
+def hyperperiod(periods: Iterable[Fraction]) -> Fraction:
+    """Least common multiple of positive rationals:
+    ``lcm(nums)/gcd(dens)`` — the smallest positive rational every
+    period divides into an integer number of times."""
+    num, den = 0, 0
+    for p in periods:
+        f = Fraction(p)
+        if f <= 0:
+            raise SchedulingError(f"hyperperiod needs positive periods, got {f}")
+        num = f.numerator if num == 0 else num * f.numerator // gcd(num, f.numerator)
+        den = gcd(den, f.denominator)
+    if num == 0:
+        raise SchedulingError("hyperperiod of an empty period set")
+    return Fraction(num, den)
+
+
+class PeriodicTimeline:
+    """Occupancy of one resource on the circle ``[0, period)``.
+
+    ``capacity=None`` means unlimited (the timeline still tracks
+    occupancy for peak/pressure metrics — force-directed uses exactly
+    that mode).
+    """
+
+    def __init__(self, period: Fraction, capacity: Optional[int] = None):
+        if period <= 0:
+            raise SchedulingError(f"timeline period must be positive, got {period}")
+        if capacity is not None and capacity < 1:
+            raise SchedulingError(f"capacity must be ≥ 1, got {capacity}")
+        self.period = Fraction(period)
+        self.capacity = capacity
+        self._pieces: Dict[Hashable, List[Tuple[Fraction, Fraction]]] = {}
+
+    # ------------------------------------------------------------------
+    def occurrence_pieces(
+        self, start: Fraction, duration: int, repeat: Fraction
+    ) -> List[Tuple[Fraction, Fraction]]:
+        """Circle pieces covered by all ``P/repeat`` occurrences."""
+        P = self.period
+        reps_f = P / repeat
+        if reps_f.denominator != 1:
+            raise SchedulingError(
+                f"instance period {repeat} does not divide the "
+                f"hyperperiod {P}"
+            )
+        reps = reps_f.numerator
+        if duration <= 0:
+            return []
+        pieces: List[Tuple[Fraction, Fraction]] = []
+        d = Fraction(duration)
+        full, rem = int(d // P), d % P
+        for j in range(reps):
+            s = (start + j * repeat) % P
+            for _ in range(full):
+                pieces.append((Fraction(0), P))
+            if rem:
+                e = s + rem
+                if e <= P:
+                    pieces.append((s, e))
+                else:
+                    pieces.append((s, P))
+                    pieces.append((Fraction(0), e - P))
+        return pieces
+
+    # ------------------------------------------------------------------
+    def add(
+        self, key: Hashable, start: Fraction, duration: int, repeat: Fraction
+    ) -> None:
+        if key in self._pieces:
+            raise SchedulingError(f"timeline key {key!r} already placed")
+        self._pieces[key] = self.occurrence_pieces(start, duration, repeat)
+
+    def remove(self, key: Hashable) -> None:
+        del self._pieces[key]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._pieces
+
+    # ------------------------------------------------------------------
+    def _stored(self) -> List[Tuple[Fraction, Fraction]]:
+        return [p for pieces in self._pieces.values() for p in pieces]
+
+    @staticmethod
+    def _max_overlap(pieces: List[Tuple[Fraction, Fraction]]) -> int:
+        events: List[Tuple[Fraction, int]] = []
+        for a, b in pieces:
+            events.append((a, 1))
+            events.append((b, -1))
+        # ends before starts at equal instants: touching intervals
+        # ([x,t) then [t,y)) never count as concurrent.
+        events.sort(key=lambda e: (e[0], e[1]))
+        count = best = 0
+        for _t, delta in events:
+            count += delta
+            if count > best:
+                best = count
+        return best
+
+    def fits(self, start: Fraction, duration: int, repeat: Fraction) -> bool:
+        """Would adding this instance keep occupancy ≤ capacity?"""
+        if self.capacity is None or duration <= 0:
+            return True
+        pieces = self._stored() + self.occurrence_pieces(start, duration, repeat)
+        return self._max_overlap(pieces) <= self.capacity
+
+    def earliest_fit(
+        self,
+        lo: Fraction,
+        hi: Fraction,
+        duration: int,
+        repeat: Fraction,
+    ) -> Optional[Fraction]:
+        """Earliest start in ``[lo, hi]`` whose occurrences all fit.
+
+        Exact: since occupancy depends only on ``start mod repeat``,
+        the earliest feasible start is the earliest representative of a
+        feasible residue class, and only residues aligning the firing's
+        start or end with a stored piece boundary (plus ``lo``'s own
+        residue) can be local optima.
+        """
+        if lo > hi:
+            return None
+        if self.capacity is None or duration <= 0:
+            return lo
+        residues = {lo % repeat}
+        d = Fraction(duration)
+        for a, b in self._stored():
+            residues.add(a % repeat)
+            residues.add(b % repeat)
+            residues.add((a - d) % repeat)
+            residues.add((b - d) % repeat)
+        candidates = []
+        for r in residues:
+            s = lo + (r - lo) % repeat
+            if s <= hi:
+                candidates.append(s)
+        for s in sorted(candidates):
+            if self.fits(s, duration, repeat):
+                return s
+        return None
+
+    # ------------------------------------------------------------------
+    def peak(self) -> int:
+        """Maximum concurrent occupancy over the circle."""
+        return self._max_overlap(self._stored())
+
+    def pressure(self) -> Fraction:
+        """``∫ usage(t)² dt`` over one period — the force-directed
+        objective (quadratic, so it rewards flattening, not just
+        lowering the peak)."""
+        events: List[Tuple[Fraction, int]] = []
+        for a, b in self._stored():
+            events.append((a, 1))
+            events.append((b, -1))
+        events.sort(key=lambda e: (e[0], e[1]))
+        total = Fraction(0)
+        count = 0
+        prev = Fraction(0)
+        for t, delta in events:
+            if t > prev and count:
+                total += count * count * (t - prev)
+            prev = max(prev, t)
+            count += delta
+        return total
+
+    def boundaries(self) -> List[Fraction]:
+        """Sorted distinct endpoints of stored pieces (candidate
+        anchors for the force-directed placement sweep)."""
+        points = set()
+        for a, b in self._stored():
+            points.add(a)
+            points.add(b)
+        return sorted(points)
+
+    def boundary_sample(self, limit: int) -> List[Fraction]:
+        """Up to ``limit`` stored endpoints, unsorted and undeduplicated
+        — a cheap spread of anchors for candidate *scoring* (which never
+        decides feasibility), skipping the Fraction sort of
+        :meth:`boundaries`."""
+        stored = self._stored()
+        total = 2 * len(stored)
+        if total <= limit:
+            return [p for piece in stored for p in piece]
+        stride = -(-total // limit)  # ceil
+        out = []
+        for i in range(0, total, stride):
+            a, b = stored[i // 2]
+            out.append(a if i % 2 == 0 else b)
+        return out

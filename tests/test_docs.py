@@ -167,6 +167,70 @@ def test_engine_guide_batched_section_matches_registry():
     assert "per-graph" in guide
 
 
+def test_scheduling_guide_policy_table_matches_registry():
+    """docs/scheduling.md's policy table is pinned to the live policy
+    registry — adding, renaming or reflagging a policy must update the
+    doc, not let it go stale."""
+    from repro.scheduling import all_policies, policy_names
+
+    guide = (ROOT / "docs" / "scheduling.md").read_text()
+    for info in all_policies():
+        row = re.search(rf"^\| `{re.escape(info.name)}` \|.*$", guide,
+                        re.MULTILINE)
+        assert row, f"docs/scheduling.md must list {info.name}"
+        assert ("resource-constrained" in row.group(0)) == (
+            info.resource_constrained
+        ), (
+            f"docs/scheduling.md row for {info.name} disagrees with the "
+            f"registry's resource_constrained={info.resource_constrained}"
+        )
+        assert ("refinement" in row.group(0)) == info.refinement, (
+            f"docs/scheduling.md row for {info.name} disagrees with the "
+            f"registry's refinement={info.refinement}"
+        )
+    # no documented ghosts: every table row is a registered policy
+    for row in re.findall(r"^\| `([a-z-]+)` \|", guide, re.MULTILINE):
+        assert row in policy_names(), (
+            f"docs/scheduling.md documents {row}, which is not a "
+            f"registered scheduling policy"
+        )
+
+
+def test_scheduling_guide_covers_cli_and_contract():
+    guide = (ROOT / "docs" / "scheduling.md").read_text()
+    for surface in ("repro policies", "repro schedule", "--policy",
+                    "--resources", "--priority", "repro gantt"):
+        assert surface in guide, (
+            f"docs/scheduling.md must document `{surface}`"
+        )
+    # the honest-N/S binding contract and its escalation path
+    for term in ("SchedulingError", "apply_mapping", "mobility"):
+        assert term in guide
+
+
+def test_scheduling_guide_is_linked_and_policies_named():
+    from repro.scheduling import policy_names
+
+    readme = (ROOT / "README.md").read_text()
+    architecture = (ROOT / "ARCHITECTURE.md").read_text()
+    assert "docs/scheduling.md" in readme
+    assert "docs/scheduling.md" in architecture
+    for name in policy_names():
+        assert f"`{name}`" in readme, (
+            f"README policy-zoo section must name {name}"
+        )
+        assert f"`{name}`" in architecture, (
+            f"ARCHITECTURE.md policy-zoo section must name {name}"
+        )
+
+
+def test_cli_schedule_policy_verbs_exist():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    assert "policies" in parser.format_help()
+
+
 def test_check_links_flags_breakage(tmp_path):
     (tmp_path / "docs").mkdir()
     (tmp_path / "README.md").write_text(

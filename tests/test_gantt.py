@@ -2,8 +2,15 @@
 
 from fractions import Fraction
 
+import pytest
+
 from repro.kperiodic import min_period_for_k
-from repro.scheduling import render_gantt, schedule_to_firings
+from repro.scheduling import (
+    policy_gantt,
+    policy_names,
+    render_gantt,
+    schedule_to_firings,
+)
 from repro.scheduling.asap import FiringRecord
 from repro.generators.paper import figure2_graph
 from repro.model import sdf
@@ -67,3 +74,21 @@ class TestScheduleToFirings:
         text = render_gantt(firings, width=90)
         for task in ("A", "B", "C", "D"):
             assert any(line.startswith(task) for line in text.splitlines())
+
+
+@pytest.mark.parametrize("policy", policy_names())
+class TestPolicyGantt:
+    """Every registered policy renders through the same Gantt path."""
+
+    def test_header_names_policy_and_period(self, policy, multirate_cycle):
+        text = policy_gantt(multirate_cycle, policy, width=60)
+        header = text.splitlines()[0]
+        assert f"policy={policy}" in header
+        assert "Ω = 5" in header
+
+    def test_all_firings_render(self, policy):
+        g = figure2_graph()
+        text = policy_gantt(g, policy, horizon_iterations=1, width=90)
+        for task in ("A", "B", "C", "D"):
+            assert any(line.startswith(task)
+                       for line in text.splitlines()[1:])

@@ -1,0 +1,139 @@
+"""The scheduling-policy registry, mirrored on ``tests/test_registry.py``.
+
+Same three-layer shape as the MCRP engine registry tests:
+
+* **registry surface** — the built-in policy set is pinned, metadata
+  (capability flags, summaries) is sane, duplicate names are rejected
+  at registration time, unknown names fail with the choice list;
+* **reachability** — every registered policy is buildable through the
+  ``build_schedule`` facade, the bench runner, and the ``repro
+  policies`` / ``repro schedule --policy`` CLI surfaces;
+* **option hygiene** — policies reject options they do not understand
+  (a typo must fail loudly, not silently fall back to defaults).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import SchedulingError
+from repro.scheduling import (
+    all_policies,
+    build_schedule,
+    get_policy,
+    policy_names,
+    priority_names,
+)
+
+BUILTIN_POLICIES = {"alap", "asap", "force-directed", "list"}
+
+
+# ----------------------------------------------------------------------
+# registry surface
+# ----------------------------------------------------------------------
+def test_all_builtin_policies_registered():
+    assert set(policy_names()) == BUILTIN_POLICIES
+
+
+def test_policy_metadata_is_sane():
+    for info in all_policies():
+        assert callable(info.build)
+        assert info.summary
+    assert get_policy("list").resource_constrained
+    assert not get_policy("list").refinement
+    assert get_policy("force-directed").refinement
+    assert not get_policy("asap").resource_constrained
+    assert not get_policy("alap").resource_constrained
+
+
+def test_unknown_policy_names_choices():
+    with pytest.raises(SchedulingError, match="alap"):
+        get_policy("nope")
+    with pytest.raises(SchedulingError, match="nope"):
+        get_policy("nope")
+
+
+def test_duplicate_registration_rejected():
+    from repro.scheduling import register_policy
+
+    with pytest.raises(ValueError, match="duplicate"):
+        register_policy("asap")(lambda ctx, **kw: None)
+
+
+def test_priority_registry_surface():
+    assert set(priority_names()) == {"critical-path", "mobility"}
+    from repro.scheduling.list_scheduling import get_priority
+
+    with pytest.raises(SchedulingError, match="mobility"):
+        get_priority("alphabetical")
+
+
+# ----------------------------------------------------------------------
+# reachability: facade, bench runner, CLI
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", sorted(BUILTIN_POLICIES))
+def test_every_policy_reachable_from_facade(policy, multirate_cycle):
+    outcome = build_schedule(multirate_cycle, policy)
+    assert outcome.omega == Fraction(5)
+    outcome.schedule.verify(multirate_cycle, iterations=2)
+
+
+@pytest.mark.parametrize("policy", sorted(BUILTIN_POLICIES))
+def test_every_policy_reachable_from_bench_runner(policy, multirate_cycle):
+    from repro.bench.runner import run_schedule_policy, schedule_policy_names
+
+    assert policy in schedule_policy_names()
+    outcome = run_schedule_policy(policy, multirate_cycle, 60.0)
+    assert outcome.ok
+    assert outcome.period == Fraction(5)
+
+
+def test_unknown_policy_fails_fast_in_bench_runner(multirate_cycle):
+    from repro.bench.runner import run_schedule_policy
+
+    with pytest.raises(SchedulingError, match="nope"):
+        run_schedule_policy("nope", multirate_cycle, 60.0)
+
+
+def test_cli_policies_lists_the_zoo(capsys):
+    assert main(["policies"]) == 0
+    out = capsys.readouterr().out
+    for name in BUILTIN_POLICIES:
+        assert name in out
+    assert "resource-constrained" in out
+    assert "refinement" in out
+    assert "certified-period" in out
+    assert "list-scheduling priorities: critical-path, mobility" in out
+
+
+def test_cli_schedule_rejects_unknown_policy(tmp_path, capsys):
+    graph = tmp_path / "g.json"
+    from repro.io import save_graph
+    from repro.model import sdf
+
+    save_graph(
+        sdf({"A": 1, "B": 1}, [("A", "B", 1, 1, 0), ("B", "A", 1, 1, 1)]),
+        graph,
+    )
+    code = main(["schedule", str(graph), "--policy", "nope",
+                 "-o", str(tmp_path / "s.json")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "nope" in err and "alap" in err
+
+
+# ----------------------------------------------------------------------
+# option hygiene
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", sorted(BUILTIN_POLICIES))
+def test_policies_reject_unknown_options(policy, multirate_cycle):
+    with pytest.raises(SchedulingError, match="typo_option"):
+        build_schedule(multirate_cycle, policy, typo_option=1)
+
+
+def test_list_rejects_unknown_priority(multirate_cycle):
+    with pytest.raises(SchedulingError, match="alphabetical"):
+        build_schedule(multirate_cycle, "list", priority="alphabetical")

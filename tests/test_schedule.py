@@ -93,3 +93,32 @@ class TestVerification:
             starts={("A", 1, 1): Fraction(0), ("B", 1, 1): Fraction(3)},
         )
         tight.verify(g, iterations=4)
+
+
+def _registry_policies():
+    from repro.scheduling import policy_names
+
+    return policy_names()
+
+
+@pytest.mark.parametrize("policy", _registry_policies())
+class TestEveryPolicyYieldsAValidSchedule:
+    """The schedule algebra holds for every registered policy's output,
+    not just the solver's ASAP potentials."""
+
+    def test_verifies_and_extrapolates(self, policy, multirate_cycle):
+        from repro.scheduling import build_schedule
+
+        s = build_schedule(multirate_cycle, policy).schedule
+        s.verify(multirate_cycle, iterations=4)
+        for (task, phase, beta), start in s.starts.items():
+            k_t = s.K[task]
+            assert s.start_time(task, phase, beta + k_t) == (
+                start + s.task_periods[task]
+            )
+
+    def test_shifted_stays_valid(self, policy, multirate_cycle):
+        from repro.scheduling import build_schedule
+
+        s = build_schedule(multirate_cycle, policy).schedule
+        s.shifted(Fraction(7)).verify(multirate_cycle, iterations=3)

@@ -1,0 +1,173 @@
+"""Cross-policy conformance: every registered scheduling policy must
+produce a *certified* K-periodic schedule.
+
+The contract, enforced for every policy × every golden-corpus graph
+(plus a band of random live CSDFGs):
+
+* the schedule verifies against token semantics (precedence-feasible);
+* its period is **bit-identical** (exact Fraction) to the corpus
+  oracle λ* — policies reshape starts, never the certified period;
+* its K-vector and per-task periods match the ASAP baseline;
+* resource-constrained policies never exceed their binding's capacity,
+  and report an honest ``SchedulingError`` when the binding cannot
+  hold the certified period (no silent period stretching).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import DeadlockError, SchedulingError
+from repro.scheduling import (
+    ResourceBinding,
+    build_from_context,
+    build_schedule,
+    periodic_peaks,
+    policy_names,
+    schedule_context,
+)
+from tests.conftest import golden_corpus_cases, make_random_live_graph
+
+DATA = Path(__file__).parent / "data"
+GOLDEN = golden_corpus_cases()
+POLICIES = policy_names()
+RANDOM_SEEDS = [11, 23, 37, 58]
+
+
+@lru_cache(maxsize=None)
+def _golden_case(file: str):
+    from repro.io import load_graph
+
+    graph = load_graph(DATA / file)
+    return graph, schedule_context(graph)
+
+
+@lru_cache(maxsize=None)
+def _random_case(seed: int):
+    graph = make_random_live_graph(seed)
+    try:
+        return graph, schedule_context(graph)
+    except (DeadlockError, SchedulingError):
+        return graph, None
+
+
+def _check_policy(graph, ctx, policy, oracle=None):
+    outcome = build_from_context(ctx, policy)
+    assert outcome.policy == policy
+    assert outcome.omega == ctx.omega  # exact Fraction equality
+    if oracle is not None:
+        assert outcome.omega == oracle
+    schedule = outcome.schedule
+    schedule.verify(graph, iterations=2)
+    baseline = ctx.schedule_from_starts(ctx.asap_potentials())
+    assert schedule.K == baseline.K
+    assert schedule.task_periods == baseline.task_periods
+    return outcome
+
+
+@pytest.mark.skipif(not GOLDEN, reason="golden corpus not generated")
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("file,period", GOLDEN,
+                         ids=[f for f, _ in GOLDEN])
+def test_golden_corpus_conformance(file, period, policy):
+    graph, ctx = _golden_case(file)
+    _check_policy(graph, ctx, policy, oracle=period)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_random_graph_conformance(seed, policy):
+    graph, ctx = _random_case(seed)
+    if ctx is None:
+        pytest.skip("random graph deadlocked or unbounded")
+    _check_policy(graph, ctx, policy)
+
+
+@pytest.mark.skipif(not GOLDEN, reason="golden corpus not generated")
+@pytest.mark.parametrize("file", [f for f, _ in GOLDEN
+                                  if "synthetic" not in f])
+def test_list_with_unlimited_binding_is_asap(file):
+    """Unlimited capacity never delays anything: list ≡ ASAP, start for
+    start (the propagation can only re-derive the ASAP fixpoint)."""
+    graph, ctx = _golden_case(file)
+    asap = build_from_context(ctx, "asap")
+    unlimited = build_from_context(
+        ctx, "list", binding=ResourceBinding.unlimited(graph)
+    )
+    assert unlimited.schedule.starts == asap.schedule.starts
+    assert unlimited.stats["reopened"] == 0
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_list_with_unlimited_binding_is_asap_random(seed):
+    graph, ctx = _random_case(seed)
+    if ctx is None:
+        pytest.skip("random graph deadlocked or unbounded")
+    asap = build_from_context(ctx, "asap")
+    unlimited = build_from_context(
+        ctx, "list", binding=ResourceBinding.unlimited(graph)
+    )
+    assert unlimited.schedule.starts == asap.schedule.starts
+
+
+@pytest.mark.skipif(not GOLDEN, reason="golden corpus not generated")
+def test_list_respects_tight_binding_capacity():
+    """figure1 fits on two unit-capacity CPUs at the certified period;
+    the periodic occupancy oracle confirms no capacity overshoot."""
+    graph, ctx = _golden_case("golden_figure1.json")
+    binding = ResourceBinding.balanced(graph, 2)
+    outcome = build_from_context(ctx, "list", binding=binding)
+    outcome.schedule.verify(graph, iterations=2)
+    assert outcome.omega == ctx.omega
+    peaks = periodic_peaks(ctx, outcome.schedule, binding)
+    for resource, peak in peaks.items():
+        assert peak <= binding.capacity_of(resource), (resource, peaks)
+
+
+@pytest.mark.skipif(not GOLDEN, reason="golden corpus not generated")
+def test_list_reports_infeasible_binding_honestly():
+    """figure2 cannot hold λ* on two CPUs: the policy must refuse with
+    a SchedulingError pointing at the mapping layer, not stretch the
+    certified period."""
+    graph, ctx = _golden_case("golden_figure2.json")
+    binding = ResourceBinding.balanced(graph, 2)
+    with pytest.raises(SchedulingError, match="apply_mapping"):
+        build_from_context(ctx, "list", binding=binding)
+
+
+def test_list_tight_binding_on_two_task_cycle(two_task_cycle):
+    """Both tasks on one unit CPU: the cycle serializes naturally at
+    the certified period 2 (durations 1+1 exactly fill it)."""
+    binding = ResourceBinding(
+        {"A": "cpu", "B": "cpu"}, {"cpu": 1}
+    )
+    outcome = build_schedule(two_task_cycle, "list", binding=binding)
+    outcome.schedule.verify(two_task_cycle, iterations=3)
+    assert outcome.omega == Fraction(2)
+    assert max(outcome.stats["peaks"].values()) <= 1
+
+
+@pytest.mark.skipif(not GOLDEN, reason="golden corpus not generated")
+@pytest.mark.parametrize("file", ["golden_figure1.json",
+                                  "golden_figure2.json",
+                                  "golden_modem.json"])
+def test_force_directed_never_worsens_peak(file):
+    """The refinement contract: peak ≤ ASAP peak, period untouched."""
+    graph, ctx = _golden_case(file)
+    binding = ResourceBinding.unlimited(graph)
+    outcome = build_from_context(ctx, "force-directed", binding=binding)
+    outcome.schedule.verify(graph, iterations=2)
+    assert outcome.omega == ctx.omega
+    assert outcome.stats["peak_after"] <= outcome.stats["peak_before"]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_build_schedule_entry_point(policy, multirate_cycle):
+    """The one-call facade solves, builds, and certifies any policy."""
+    outcome = build_schedule(multirate_cycle, policy)
+    outcome.schedule.verify(multirate_cycle, iterations=3)
+    assert outcome.omega == Fraction(5)
