@@ -19,10 +19,10 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional
 
+from repro.dse.session import DseSession
 from repro.exceptions import ModelError
 from repro.kperiodic.kiter import throughput_kiter
 from repro.model.graph import CsdfGraph
-from repro.model.task import Task
 
 
 def critical_tasks(graph: CsdfGraph, *, engine: str = "ratio-iteration"):
@@ -54,23 +54,6 @@ class TaskSensitivity:
         return self.slowdown_cost > 0
 
 
-def _with_scaled_task(
-    graph: CsdfGraph, task_name: str, numerator: int, denominator: int
-) -> CsdfGraph:
-    out = CsdfGraph(graph.name)
-    for t in graph.tasks():
-        if t.name == task_name:
-            scaled = tuple(
-                (d * numerator) // denominator for d in t.durations
-            )
-            out.add_task(Task(t.name, scaled))
-        else:
-            out.add_task(t)
-    for b in graph.buffers():
-        out.add_buffer(b)
-    return out
-
-
 def duration_sensitivity(
     graph: CsdfGraph,
     *,
@@ -88,19 +71,25 @@ def duration_sensitivity(
     >>> s["A"].speedup_gain, s["B"].speedup_gain
     (Fraction(4, 1), Fraction(1, 1))
     """
-    base = throughput_kiter(graph, engine=engine).period
+    # One DseSession for the whole 2N+1 sweep: each probe edits one
+    # task's durations, recomputing only that task's outgoing blocks,
+    # and the doubled probe rides the previous λ* as a warm seed (a
+    # slowdown cannot lower the period). Exactness is unchanged —
+    # every probe's period is bit-identical to a cold solve (pinned by
+    # tests/test_dse.py).
+    session = DseSession(graph, engine=engine)
+    base = session.solve().period
     if base is None:
         raise ModelError("sensitivity undefined for unbounded throughput")
     names = tasks if tasks is not None else graph.task_names()
     out: Dict[str, TaskSensitivity] = {}
     for name in names:
-        graph.task(name)  # validate
-        faster = throughput_kiter(
-            _with_scaled_task(graph, name, 1, 2), engine=engine
-        ).period
-        slower = throughput_kiter(
-            _with_scaled_task(graph, name, 2, 1), engine=engine
-        ).period
+        original = graph.task(name).durations  # validates the name
+        session.set_durations(name, tuple(d // 2 for d in original))
+        faster = session.solve().period
+        session.set_durations(name, tuple(d * 2 for d in original))
+        slower = session.solve().period
+        session.set_durations(name, original)
         out[name] = TaskSensitivity(
             task=name,
             base_period=base,

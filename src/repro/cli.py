@@ -266,6 +266,63 @@ def cmd_batch(args) -> int:
     return 1 if (failures or mismatches) else 0
 
 
+def cmd_explore(args) -> int:
+    import json
+
+    from repro.service import ThroughputService
+
+    manifest_path = Path(args.manifest)
+    try:
+        payload = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(
+            f"cannot read manifest {args.manifest!r}: {exc}") from exc
+    graph_file = None
+    if isinstance(payload, list):
+        points = payload
+    elif isinstance(payload, dict):
+        points = payload.get("points")
+        graph_file = payload.get("graph")
+    else:
+        points = None
+    if not isinstance(points, list) or not points:
+        raise ReproError(
+            f"manifest {args.manifest!r} must be a non-empty JSON list "
+            "of design points (or {'graph': ..., 'points': [...]}); see "
+            "docs/dse.md for the point/edit schema"
+        )
+    if args.graph:
+        graph = _read_graph(args.graph)
+    elif isinstance(graph_file, str):
+        graph = _read_graph(str(manifest_path.parent / graph_file))
+    else:
+        raise ReproError(
+            "no graph to explore: pass --graph FILE or put a 'graph' "
+            "path in the manifest"
+        )
+    with ThroughputService(
+        engine=args.engine, workers=args.workers,
+        warm_start=not args.no_warm,
+    ) as service:
+        records = service.explore(graph, points, check=args.check)
+    failures = 0
+    deadlocks = 0
+    with open(args.output, "w") as sink:
+        for record in records:
+            if record["status"] == "DEADLOCK":
+                deadlocks += 1
+            elif record["status"] != "OK":
+                failures += 1
+            sink.write(json.dumps(record) + "\n")
+    print(f"wrote {args.output}: {len(records)} design point(s), "
+          f"{len(records) - failures - deadlocks} OK, "
+          f"{deadlocks} deadlocked, {failures} failed")
+    if args.check:
+        print(f"check: every certified λ* matched a cold solve "
+              f"({len(records)} point(s))")
+    return 1 if failures else 0
+
+
 def cmd_serve(args) -> int:
     import signal
     import threading
@@ -747,6 +804,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a flight-recorder trace (JSONL spans; "
                         "summarize with `repro trace FILE`)")
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "explore",
+        help="sweep an edit manifest through one incremental DSE session",
+    )
+    p.add_argument("manifest",
+                   help="JSON design-point list (or {'graph': PATH, "
+                        "'points': [...]}); each point is {name?, "
+                        "reset?, edits: [{op, ...}]} — see docs/dse.md")
+    p.add_argument("-o", "--output", required=True,
+                   help="JSONL sink: one certified result per point")
+    p.add_argument("--graph", default=None, metavar="FILE",
+                   help="base graph (overrides the manifest's "
+                        "'graph' path)")
+    p.add_argument("--engine", default="ratio-iteration", metavar="ENGINE",
+                   help="MCRP engine (see `repro engines`)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="0 runs the session inline; N>=1 ships the "
+                        "whole sweep to one pool worker")
+    p.add_argument("--no-warm", action="store_true",
+                   help="disable warm-start seeding (identical results; "
+                        "ablation/debug switch)")
+    p.add_argument("--check", action="store_true",
+                   help="re-solve every point cold and assert "
+                        "bit-identical λ* (the exactness contract)")
+    p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser(
         "serve",

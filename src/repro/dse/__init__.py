@@ -1,0 +1,25 @@
+"""Incremental design-space exploration sessions.
+
+One :class:`DseSession` = one design point under iterated targeted
+edits: the session keeps the expansion block cache, the repetition
+vector and the last certified solve alive across edits, so a sweep
+re-solves only what an edit actually touched instead of starting cold
+N times. The exactness contract is absolute — every design point's λ*
+is bit-identical to a cold solve of the edited graph (pinned by
+``tests/test_dse.py``); the caches and warm starts only move work,
+never answers.
+"""
+
+from repro.dse.explore import (
+    explore_payload_for,
+    run_explore,
+    solve_explore_payload,
+)
+from repro.dse.session import DseSession
+
+__all__ = [
+    "DseSession",
+    "explore_payload_for",
+    "run_explore",
+    "solve_explore_payload",
+]

@@ -39,7 +39,7 @@ except ImportError:  # pragma: no cover - numpy is present in CI
 
 from repro.analysis.constraint_graph import merge_parallel_candidates
 from repro.analysis.precedence import expanded_useful_pair_arrays
-from repro.exceptions import ModelError
+from repro.exceptions import ModelError, ReproError
 from repro.mcrp.compiled import CompiledGraph
 from repro.mcrp.graph import FrozenBiValuedGraph
 from repro.model.buffer import Buffer
@@ -284,6 +284,74 @@ class ExpansionBlockCache:
     def clear(self) -> None:
         self._blocks.clear()
         self._cells = 0
+
+    def invalidate_buffer(self, name: str) -> int:
+        """Drop every cached block of buffer ``name`` (any ``K`` pair).
+
+        The targeted edit surface of :class:`repro.dse.DseSession`: an
+        edit to one buffer's content (rates, marking, or — through the
+        bounded-buffer transformation — capacity) stales exactly the
+        blocks keyed ``(name, *, *)``; everything else remains valid
+        because a block depends only on its own buffer plus
+        ``(K_src, K_dst)``. The assembled memos are *not* touched here —
+        they aggregate every buffer, so the caller drops them once per
+        edit batch via :meth:`invalidate_assembled`. Returns the number
+        of blocks dropped (the ``session.*`` invalidation metric).
+        """
+        stale = [key for key in self._blocks if key[0] == name]
+        for key in stale:
+            block = self._blocks.pop(key)
+            self._cells -= block.cells
+        return len(stale)
+
+    def invalidate_assembled(self) -> None:
+        """Drop the assembled-graph memo and the serialization copy.
+
+        Both are aggregates of the whole graph (and validated only by
+        task/buffer *counts*), so any content edit stales them even
+        when the counts are unchanged. Per-buffer blocks survive — the
+        reuse they carry is the point of selective invalidation.
+        """
+        self._compiled.clear()
+        self._compiled_counts = None
+        self._serialized = None
+
+    def invalidate_compiled(self) -> None:
+        """Drop only the assembled-K memo, keeping the serialized copy."""
+        self._compiled.clear()
+        self._compiled_counts = None
+
+    def patch_serialized(self, graph, *, tasks=None, buffers=None) -> bool:
+        """Swap edited tasks/buffers into the serialization-loop memo.
+
+        A *content* edit (rates, marking, durations — same topology)
+        leaves the serialization copy structurally identical: only the
+        edited objects differ, and ``shared_pairs`` is a pure topology
+        property. Rebuilding the memoized work graph with the
+        replacements swapped in (one shared-reference pass) is much
+        cheaper than re-deriving ``with_serialization_loops()`` from
+        scratch on the next compile — the steady-state win of
+        :class:`repro.dse.DseSession` edits. On any failure the memo is
+        dropped (never left stale): returns ``False`` and the next
+        compile rebuilds cold.
+        """
+        entry = self._serialized
+        if entry is None:
+            return False
+        counts, work, shared_pairs = entry
+        if counts != (graph.task_count, graph.buffer_count):
+            self._serialized = None
+            return False
+        from repro.transforms.surgery import rebuild_graph
+
+        try:
+            new_work = rebuild_graph(
+                work, tasks=tasks or None, buffers=buffers or None)
+        except ReproError:
+            self._serialized = None
+            return False
+        self._serialized = (counts, new_work, shared_pairs)
+        return True
 
     def __len__(self) -> int:
         return len(self._blocks)

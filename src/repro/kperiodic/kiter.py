@@ -138,13 +138,19 @@ class KIterMachine:
         update_policy: str = "lcm",
         warm_start: bool = True,
         pipeline: str = "direct",
+        expansion_cache=None,
+        repetition: Optional[Dict[str, int]] = None,
+        warm_lambda: Optional[Fraction] = None,
     ) -> None:
         self.graph = graph
         self.max_rounds = max_rounds
         self.update_policy = update_policy
         self.warm_start = warm_start
         self.pipeline = pipeline
-        self.q = cached_repetition_vector(graph)
+        self.q = (
+            dict(repetition) if repetition is not None
+            else cached_repetition_vector(graph)
+        )
         self.K: Dict[str, int] = (
             dict(initial_k) if initial_k else {t: 1 for t in self.q}
         )
@@ -152,9 +158,15 @@ class KIterMachine:
         # The per-graph block cache makes round i+1 recompute only the
         # buffers whose endpoint K escalated; it is bound to the graph
         # object, so pool workers reusing a parsed graph share it too.
-        self.cache = (
-            expansion_cache_for(graph) if pipeline == "direct" else None
-        )
+        # A DseSession passes its own cache instead: the session owns
+        # the invalidation bookkeeping across graph edits, which the
+        # weak-key per-object binding cannot express.
+        if expansion_cache is not None and pipeline == "direct":
+            self.cache = expansion_cache
+        else:
+            self.cache = (
+                expansion_cache_for(graph) if pipeline == "direct" else None
+            )
         self.rounds: List[KIterRound] = []
         self.final: Optional[KPeriodicResult] = None
         self._rounds_left = max_rounds
@@ -162,6 +174,15 @@ class KIterMachine:
         self._prev_lambda: Optional[Fraction] = None
         self._prev_lcm: Optional[int] = None
         self._lcm_k: Optional[int] = None
+        # Cross-solve seed (DseSession): consumed by the *first*
+        # prepared round only, in that round's expanded scale — the
+        # caller guarantees it is the certified λ* of a previous solve
+        # at the same initial K whose edits could not lower λ*. An
+        # overshooting seed costs probes, never exactness (the engines
+        # restart from the utilization bound on an uncertified start).
+        self._initial_seed = (
+            Fraction(warm_lambda) if warm_lambda is not None else None
+        )
 
     @property
     def done(self) -> bool:
@@ -176,8 +197,13 @@ class KIterMachine:
         _ROUNDS_TOTAL.inc()
         self._lcm_k = lcm_list(self.K.values())
         seed = None
+        if self._initial_seed is not None:
+            if self.warm_start and self._prev_lambda is None:
+                seed = self._initial_seed
+            self._initial_seed = None  # first prepared round only
         if (
-            self.warm_start
+            seed is None
+            and self.warm_start
             and self._prev_lambda is not None
             and self._prev_lcm is not None
             and self._lcm_k > self._prev_lcm
@@ -295,6 +321,9 @@ def throughput_kiter(
     update_policy: str = "lcm",
     warm_start: bool = True,
     pipeline: str = "direct",
+    expansion_cache=None,
+    repetition: Optional[Dict[str, int]] = None,
+    warm_lambda: Optional[Fraction] = None,
 ) -> KIterResult:
     """Exact maximum throughput of a consistent CSDFG via K-Iter.
 
@@ -345,6 +374,20 @@ def throughput_kiter(
         escalation leaves a task's K unchanged recomputes nothing for
         that task — while ``"legacy"`` rebuilds the materialized
         expansion every round (the reference path).
+    expansion_cache:
+        Explicit :class:`~repro.kperiodic.expansion.ExpansionBlockCache`
+        to use instead of the graph's weak-key-bound one — the
+        :class:`repro.dse.DseSession` hook, whose edits create fresh
+        graph objects but keep one selectively-invalidated cache.
+    repetition:
+        Pre-computed repetition vector ``q`` of ``graph`` (skips the
+        exact rational propagation — another DseSession memo).
+    warm_lambda:
+        Certified ``λ*`` of a previous solve, seeding the *first*
+        round's engine in that round's expanded scale (meaningful with
+        ``initial_k`` set to that solve's certified K, so the scales
+        match). Exactness never depends on it; an overshooting seed
+        only costs restart probes.
 
     Examples
     --------
@@ -358,6 +401,8 @@ def throughput_kiter(
         graph, max_rounds=max_rounds, time_budget=time_budget,
         initial_k=initial_k, update_policy=update_policy,
         warm_start=warm_start, pipeline=pipeline,
+        expansion_cache=expansion_cache, repetition=repetition,
+        warm_lambda=warm_lambda,
     )
     while True:
         with _span("kiter.round", engine=engine,

@@ -144,6 +144,17 @@ METRICS: Dict[str, MetricSpec] = {
     "repro_workers_known": MetricSpec(
         "gauge", "Workers that ever leased or heartbeat against this "
                  "coordinator"),
+    # --- DSE sessions ------------------------------------------------
+    "repro_session_edits_total": MetricSpec(
+        "counter", "DseSession edits applied, by edit kind", ("kind",)),
+    "repro_session_block_invalidations_total": MetricSpec(
+        "counter", "Expansion blocks dropped by session edits"),
+    "repro_session_solves_total": MetricSpec(
+        "counter", "DseSession solves, by terminal status", ("status",)),
+    "repro_session_warm_starts_total": MetricSpec(
+        "counter", "Session re-solve warm starts, by outcome", ("outcome",)),
+    "repro_session_rounds_saved_total": MetricSpec(
+        "counter", "K-Iter rounds skipped by reusing the certified K"),
     # --- benches -----------------------------------------------------
     "repro_bench_value": MetricSpec(
         "gauge", "Latest benchmark gate numbers", ("bench", "name")),

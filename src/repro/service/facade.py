@@ -355,6 +355,56 @@ class ThroughputService:
         except Exception:  # noqa: BLE001 - observability is best-effort
             pass
 
+    def explore(
+        self,
+        graph: CsdfGraph,
+        points: Iterable[Mapping[str, Any]],
+        *,
+        engine: Optional[str] = None,
+        warm_start: Optional[bool] = None,
+        check: bool = False,
+    ) -> List[Dict[str, Any]]:
+        """Run an edit-manifest sweep as *one* sticky DSE session.
+
+        ``points`` is the ``repro explore`` manifest schema (see
+        :mod:`repro.dse.explore`): per design point an ``edits`` op
+        list, an optional ``name`` and an optional ``reset``. The whole
+        sweep is a single job — with a pool configured it rides one
+        explore chunk so a single worker owns the session (its block
+        cache and warm-start state live where the solves run); inline
+        mode and queue mode run it in-process (the distributed fabric
+        speaks single-solve payloads only). Returns the per-point
+        records in order; exactness per point is the DseSession
+        contract (bit-identical to a cold solve; ``check=True``
+        verifies it at runtime).
+
+        Sweep results are not content-addressed — nothing here touches
+        the result cache.
+        """
+        from repro.dse.explore import explore_payload_for
+
+        points = list(points)
+        payload = explore_payload_for(
+            graph, points,
+            engine=engine or self.engine,
+            warm_start=self.warm_start if warm_start is None
+            else warm_start,
+            check=check,
+        )
+        pool = None if self._queue is not None else self._ensure_pool()
+        with _span("service.explore", points=len(points)) as sp:
+            if pool is not None:
+                outcome = pool.solve([payload])[0]
+            else:
+                from repro.dse.explore import solve_explore_payload
+
+                outcome = solve_explore_payload(payload)
+            sp.attrs["status"] = outcome.get("status", "ERROR")
+        if outcome.get("status") != "OK":
+            raise RuntimeError(
+                f"explore sweep failed: {outcome.get('error', outcome)}")
+        return outcome["results"]
+
     def map(
         self,
         graphs: Iterable[GraphLike],

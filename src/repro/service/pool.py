@@ -97,12 +97,35 @@ def solve_chunk(payloads: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
     ineligible payloads fall back to the per-payload path inside the
     fleet driver. Graph objects come from the per-worker LRU, so the
     expansion block caches still carry across jobs.
+
+    Explore chunks (``payload["kind"] == "explore"``, see
+    :func:`repro.dse.explore.solve_explore_payload`) are whole sweeps,
+    not single solves: each runs its own sticky
+    :class:`~repro.dse.DseSession` here in the worker — the session's
+    caches live where the solves do — and the remaining payloads still
+    share one fleet pass.
     """
     payloads = list(payloads)
     with _span("pool.chunk", jobs=len(payloads)):
-        return solve_fleet_payloads(
-            payloads, graphs=[_cached_graph(p) for p in payloads]
-        )
+        explore_at = {
+            index: payload for index, payload in enumerate(payloads)
+            if payload.get("kind") == "explore"
+        }
+        if not explore_at:
+            return solve_fleet_payloads(
+                payloads, graphs=[_cached_graph(p) for p in payloads]
+            )
+        from repro.dse.explore import solve_explore_payload
+
+        plain = [p for i, p in enumerate(payloads) if i not in explore_at]
+        plain_results = iter(solve_fleet_payloads(
+            plain, graphs=[_cached_graph(p) for p in plain]
+        ))
+        return [
+            solve_explore_payload(payload, graph=_cached_graph(payload))
+            if index in explore_at else next(plain_results)
+            for index, payload in enumerate(payloads)
+        ]
 
 
 def _warm_worker() -> None:

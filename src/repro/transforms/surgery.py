@@ -8,12 +8,178 @@ by tests.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.exceptions import ModelError
 from repro.model.buffer import Buffer
 from repro.model.graph import CsdfGraph
 from repro.model.task import Task
+
+
+def rebuild_graph(
+    graph: CsdfGraph,
+    *,
+    tasks: Optional[Mapping[str, Task]] = None,
+    buffers: Optional[Mapping[str, Buffer]] = None,
+    name: Optional[str] = None,
+) -> CsdfGraph:
+    """A structural copy with selected tasks/buffers swapped in place.
+
+    The shared single-target copy core of every edit helper here and of
+    :class:`repro.dse.DseSession`: tasks and buffers are immutable, so
+    a one-element ``tasks``/``buffers`` override is the cheapest exact
+    "edit" there is — every untouched object is shared by reference and
+    insertion order (hence node layout, canonical serialization, and
+    digests of unrelated content) is preserved. Replacement names must
+    already exist; phase-count compatibility is re-validated by the
+    ``add_buffer`` checks on the way back in.
+
+    Content-only swaps — same names, endpoints and phase counts —
+    take a dict-copy fast path instead of re-inserting every object
+    through ``add_task``/``add_buffer``: the adjacency is unchanged by
+    construction, and per-object re-validation would make a session
+    edit on an N-buffer graph O(N) Python calls for a one-buffer
+    change. Anything that *could* shift validation (a replacement
+    changing phase count or endpoints) falls back to the full
+    re-insertion, which raises exactly where manual construction would.
+    """
+    tasks = dict(tasks or {})
+    buffers = dict(buffers or {})
+    for t_name in tasks:
+        graph.task(t_name)  # unknown names raise ModelError
+    for b_name in buffers:
+        graph.buffer(b_name)
+
+    def _phases(task_name: str) -> int:
+        replaced = tasks.get(task_name)
+        return (replaced or graph.task(task_name)).phase_count
+
+    fast = all(
+        t.name == t_name
+        and t.phase_count == graph.task(t_name).phase_count
+        for t_name, t in tasks.items()
+    ) and all(
+        b.name == b_name
+        and (b.source, b.target)
+        == (graph.buffer(b_name).source, graph.buffer(b_name).target)
+        and len(b.production) == _phases(b.source)
+        and len(b.consumption) == _phases(b.target)
+        for b_name, b in buffers.items()
+    )
+    if fast:
+        out = CsdfGraph.__new__(CsdfGraph)
+        out.name = name or graph.name
+        out._tasks = dict(graph._tasks)
+        out._tasks.update(tasks)
+        out._buffers = dict(graph._buffers)
+        out._buffers.update(buffers)
+        out._out = {key: list(val) for key, val in graph._out.items()}
+        out._in = {key: list(val) for key, val in graph._in.items()}
+        return out
+
+    out = CsdfGraph(name or graph.name)
+    for t in graph.tasks():
+        out.add_task(tasks.get(t.name, t))
+    for b in graph.buffers():
+        out.add_buffer(buffers.get(b.name, b))
+    return out
+
+
+def with_task_durations(
+    graph: CsdfGraph, task_name: str, durations: Sequence[int]
+) -> CsdfGraph:
+    """One task's phase durations replaced; everything else shared.
+
+    The phase count must not change (rate vectors of adjacent buffers
+    are pinned to it).
+    """
+    old = graph.task(task_name)
+    durations = tuple(int(d) for d in durations)
+    if len(durations) != old.phase_count:
+        raise ModelError(
+            f"task {task_name!r} has {old.phase_count} phases; got "
+            f"{len(durations)} durations"
+        )
+    return rebuild_graph(
+        graph, tasks={task_name: Task(task_name, durations)}
+    )
+
+
+def with_scaled_task(
+    graph: CsdfGraph, task_name: str, numerator: int, denominator: int = 1
+) -> CsdfGraph:
+    """One task's durations scaled by ``numerator/denominator`` (floor)."""
+    if numerator < 0 or denominator < 1:
+        raise ModelError(
+            f"bad duration scale {numerator}/{denominator} for task "
+            f"{task_name!r}"
+        )
+    old = graph.task(task_name)
+    return with_task_durations(
+        graph, task_name,
+        tuple((d * numerator) // denominator for d in old.durations),
+    )
+
+
+def with_buffer(graph: CsdfGraph, buffer: Buffer) -> CsdfGraph:
+    """One buffer replaced by name; endpoints must be unchanged.
+
+    Keeping the endpoints fixed is what makes this a *single-target*
+    edit: the adjacency lists, the node layout and every other buffer's
+    constraint blocks are untouched.
+    """
+    old = graph.buffer(buffer.name)
+    if (buffer.source, buffer.target) != (old.source, old.target):
+        raise ModelError(
+            f"buffer {buffer.name!r} endpoints changed "
+            f"({old.source}->{old.target} vs "
+            f"{buffer.source}->{buffer.target}); add a new buffer instead"
+        )
+    return rebuild_graph(graph, buffers={buffer.name: buffer})
+
+
+def with_initial_tokens(
+    graph: CsdfGraph, buffer_name: str, initial_tokens: int
+) -> CsdfGraph:
+    """One buffer's marking replaced; rates and endpoints shared."""
+    old = graph.buffer(buffer_name)
+    return with_buffer(
+        graph,
+        Buffer(
+            old.name, old.source, old.target, old.production,
+            old.consumption, initial_tokens,
+            serialization=old.serialization,
+        ),
+    )
+
+
+def with_buffer_rates(
+    graph: CsdfGraph,
+    buffer_name: str,
+    *,
+    production: Optional[Sequence[int]] = None,
+    consumption: Optional[Sequence[int]] = None,
+    initial_tokens: Optional[int] = None,
+) -> CsdfGraph:
+    """One buffer's rate vectors (and optionally marking) replaced.
+
+    Rate edits can change the repetition vector — or break consistency
+    entirely — so callers must re-derive ``q`` (DseSession drops its
+    memo on this edit).
+    """
+    old = graph.buffer(buffer_name)
+    return with_buffer(
+        graph,
+        Buffer(
+            old.name, old.source, old.target,
+            tuple(production) if production is not None else old.production,
+            tuple(consumption) if consumption is not None
+            else old.consumption,
+            initial_tokens if initial_tokens is not None
+            else old.initial_tokens,
+            serialization=old.serialization,
+        ),
+    )
 
 
 def relabel_graph(
@@ -92,12 +258,13 @@ def scale_durations(graph: CsdfGraph, factor: int) -> CsdfGraph:
     """
     if factor < 1:
         raise ModelError(f"duration factor must be ≥ 1, got {factor}")
-    out = CsdfGraph(graph.name)
-    for t in graph.tasks():
-        out.add_task(Task(t.name, tuple(d * factor for d in t.durations)))
-    for b in graph.buffers():
-        out.add_buffer(b)
-    return out
+    return rebuild_graph(
+        graph,
+        tasks={
+            t.name: Task(t.name, tuple(d * factor for d in t.durations))
+            for t in graph.tasks()
+        },
+    )
 
 
 def scale_rates(graph: CsdfGraph, factor: int) -> CsdfGraph:
@@ -109,12 +276,10 @@ def scale_rates(graph: CsdfGraph, factor: int) -> CsdfGraph:
     """
     if factor < 1:
         raise ModelError(f"rate factor must be ≥ 1, got {factor}")
-    out = CsdfGraph(graph.name)
-    for t in graph.tasks():
-        out.add_task(t)
-    for b in graph.buffers():
-        out.add_buffer(
-            Buffer(
+    return rebuild_graph(
+        graph,
+        buffers={
+            b.name: Buffer(
                 b.name,
                 b.source,
                 b.target,
@@ -123,5 +288,6 @@ def scale_rates(graph: CsdfGraph, factor: int) -> CsdfGraph:
                 b.initial_tokens * factor,
                 serialization=b.serialization,
             )
-        )
-    return out
+            for b in graph.buffers()
+        },
+    )

@@ -231,6 +231,53 @@ def test_cli_schedule_policy_verbs_exist():
     assert "policies" in parser.format_help()
 
 
+def test_dse_guide_edit_table_matches_session():
+    """docs/dse.md's edit-method table is pinned to
+    ``DseSession.EDIT_METHODS`` — adding, renaming or removing an edit
+    method must update the doc, not let it go stale."""
+    from repro.dse import DseSession
+
+    guide = (ROOT / "docs" / "dse.md").read_text()
+    for name in DseSession.EDIT_METHODS:
+        row = re.search(rf"^\| `{re.escape(name)}\(", guide,
+                        re.MULTILINE)
+        assert row, f"docs/dse.md edit table must list {name}"
+        assert callable(getattr(DseSession, name)), (
+            f"EDIT_METHODS names {name}, which is not a DseSession "
+            "method"
+        )
+    # no documented ghosts: every edit-table row is a real edit method
+    for row in re.findall(r"^\| `([a-z_]+)\(", guide, re.MULTILINE):
+        assert row in DseSession.EDIT_METHODS, (
+            f"docs/dse.md documents {row}(), which is not in "
+            "DseSession.EDIT_METHODS"
+        )
+
+
+def test_dse_guide_covers_cli_and_contract():
+    guide = (ROOT / "docs" / "dse.md").read_text()
+    for surface in ("repro explore", "--check", "--no-warm",
+                    "ThroughputService.explore", "reset"):
+        assert surface in guide, f"docs/dse.md must document `{surface}`"
+    # the exactness contract and the downgrade rule are stated
+    for term in ("bit-identical", "downgrade", "warm"):
+        assert term in guide
+
+
+def test_dse_guide_is_linked_from_readme_and_architecture():
+    readme = (ROOT / "README.md").read_text()
+    architecture = (ROOT / "ARCHITECTURE.md").read_text()
+    assert "docs/dse.md" in readme
+    assert "docs/dse.md" in architecture
+
+
+def test_cli_explore_verb_exists():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    assert "explore" in parser.format_help()
+
+
 def test_check_links_flags_breakage(tmp_path):
     (tmp_path / "docs").mkdir()
     (tmp_path / "README.md").write_text(

@@ -1,0 +1,437 @@
+"""DseSession: exactness, selective invalidation, lifecycle.
+
+The contract under test is absolute: after *any* sequence of edits, the
+session's certified λ* is bit-identical (`Fraction` equality) to a cold
+solve of the edited graph — warm starts and block reuse move work, not
+answers. The suite pins that on the golden corpus, on hypothesis-driven
+random edit sequences (including λ*-lowering edits, which exercise the
+warm-start downgrade rule), plus the block-invalidation accounting, the
+warm-start bookkeeping, and pickling/reset semantics.
+"""
+
+import json
+import pickle
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import golden_corpus_cases
+from repro.buffers.capacity import bound_all_buffers, minimal_buffer_capacity
+from repro.dse import DseSession, run_explore, solve_explore_payload
+from repro.dse.explore import explore_payload_for
+from repro.exceptions import DeadlockError, ModelError
+from repro.kperiodic.kiter import throughput_kiter
+from repro.model.graph import CsdfGraph
+
+DATA = Path(__file__).parent / "data"
+
+
+def cold_period(graph):
+    """λ* of a *fresh* graph object: cold caches, cold q, cold K ladder."""
+    try:
+        return throughput_kiter(CsdfGraph.from_dict(graph.to_dict())).period
+    except DeadlockError:
+        return None
+
+
+def session_period(session):
+    try:
+        return session.solve().period
+    except DeadlockError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Exactness: session vs cold solve after every edit
+# ----------------------------------------------------------------------
+class TestParity:
+    def test_base_solve_matches_cold(self, multirate_cycle):
+        session = DseSession(multirate_cycle)
+        assert session.solve().period == cold_period(multirate_cycle)
+
+    def test_capacity_sweep_parity(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        session = DseSession(bounded)
+        data_buffers = [
+            b.name for b in multirate_cycle.buffers() if not b.is_self_loop()
+        ]
+        for cap in (12, 10, 8, 7, 14, 6):
+            for name in data_buffers:
+                floor = minimal_buffer_capacity(
+                    multirate_cycle.buffer(name))
+                session.set_capacity(name, max(cap, floor))
+            assert session_period(session) == cold_period(session.graph)
+
+    def test_duration_edit_parity_including_lowering(self, csdf_pipeline):
+        session = DseSession(csdf_pipeline)
+        session.solve()
+        session.scale_task("t", 3)           # slowdown: seed kept
+        assert session_period(session) == cold_period(session.graph)
+        session.scale_task("t", 1, 3)        # speedup: λ* can drop
+        assert session_period(session) == cold_period(session.graph)
+        session.set_durations("u", (7, 2))
+        assert session_period(session) == cold_period(session.graph)
+
+    def test_rate_edit_parity(self, multirate_cycle):
+        session = DseSession(multirate_cycle)
+        session.solve()
+        # Scaling one buffer's rates and marking uniformly keeps the
+        # graph consistent but moves the constraint set.
+        b = multirate_cycle.buffer("A_B_0")
+        session.set_rates(
+            "A_B_0",
+            production=tuple(r * 2 for r in b.production),
+            consumption=tuple(r * 2 for r in b.consumption),
+            initial_tokens=b.initial_tokens * 2,
+        )
+        assert session_period(session) == cold_period(session.graph)
+
+    def test_token_edits_parity(self, two_task_cycle):
+        session = DseSession(two_task_cycle)
+        for tokens in (2, 3, 1, 0):
+            session.set_initial_tokens("B_A_0", tokens)
+            assert session_period(session) == cold_period(session.graph)
+
+    def test_deadlock_parity_and_recovery(self, two_task_cycle):
+        session = DseSession(two_task_cycle)
+        session.solve()
+        session.set_initial_tokens("B_A_0", 0)   # tokenless cycle: dead
+        with pytest.raises(DeadlockError):
+            session.solve()
+        # The session survives the failed solve; a reviving edit works
+        # and parity still holds (direction state accumulated safely).
+        session.set_initial_tokens("B_A_0", 2)
+        assert session_period(session) == cold_period(session.graph)
+
+    @pytest.mark.parametrize(
+        "filename,period",
+        golden_corpus_cases()[:4] or [(None, None)],
+    )
+    def test_golden_corpus_edit_parity(self, filename, period):
+        if filename is None:
+            pytest.skip("golden corpus not present")
+        graph = CsdfGraph.from_dict(
+            json.loads((DATA / filename).read_text()))
+        session = DseSession(graph)
+        assert session.solve().period == period
+        # one slowdown, one speedup, one marking edit — parity each time
+        task = sorted(graph.task_names())[0]
+        session.scale_task(task, 2)
+        assert session_period(session) == cold_period(session.graph)
+        session.scale_task(task, 1, 2)
+        assert session_period(session) == cold_period(session.graph)
+        buffer = sorted(b.name for b in graph.buffers())[0]
+        tokens = graph.buffer(buffer).initial_tokens
+        session.set_initial_tokens(buffer, tokens + 3)
+        assert session_period(session) == cold_period(session.graph)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random edit sequences
+# ----------------------------------------------------------------------
+EDIT_STEP = st.one_of(
+    st.tuples(st.just("cap"), st.integers(0, 1), st.integers(1, 3)),
+    st.tuples(st.just("tokens"), st.integers(0, 1), st.integers(0, 8)),
+    st.tuples(st.just("dur"), st.integers(0, 1),
+              st.integers(1, 4), st.integers(1, 2)),
+    st.tuples(st.just("reset")),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=st.lists(EDIT_STEP, min_size=1, max_size=6))
+def test_random_edit_sequence_parity(steps):
+    from repro.model import sdf
+
+    base = sdf(
+        {"A": 3, "B": 2},
+        [("A", "B", 2, 3, 0), ("B", "A", 3, 2, 6)],
+        name="hyp",
+    )
+    bounded = bound_all_buffers(base, 12)
+    session = DseSession(bounded)
+    data = [b.name for b in base.buffers()]
+    tasks = sorted(base.task_names())
+    for step in steps:
+        if step[0] == "reset":
+            session.reset()
+        elif step[0] == "cap":
+            name = data[step[1]]
+            floor = minimal_buffer_capacity(base.buffer(name))
+            marking = session.graph.buffer(name).initial_tokens
+            session.set_capacity(name, max(floor * step[2], marking))
+        elif step[0] == "tokens":
+            session.set_initial_tokens(data[step[1]], step[2])
+        else:
+            session.scale_task(tasks[step[1]], step[2], step[3])
+        assert session_period(session) == cold_period(session.graph)
+
+
+# ----------------------------------------------------------------------
+# Selective invalidation accounting
+# ----------------------------------------------------------------------
+class TestInvalidation:
+    def test_edit_drops_only_touched_buffers_blocks(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        session = DseSession(bounded)
+        session.solve()
+        before = dict(session._cache._blocks)
+        assert before, "solve must have populated the block cache"
+        target = "__space_A_B_0"
+        assert any(key[0] == target for key in before)
+        session.set_capacity("A_B_0", 10)
+        after_edit = session._cache._blocks
+        assert not any(key[0] == target for key in after_edit)
+        for key, block in after_edit.items():
+            assert before[key] is block, (
+                f"edit to {target} recomputed untouched block {key}")
+        session.solve()
+        # Re-solve recomputed only the touched buffer: every surviving
+        # block of an untouched buffer is the *same object* as before.
+        for key, block in session._cache._blocks.items():
+            if key[0] != target:
+                assert before.get(key) is block, (
+                    f"re-solve recomputed untouched block {key}")
+
+    def test_duration_edit_invalidates_source_buffers_and_serial_loop(
+        self, csdf_pipeline
+    ):
+        session = DseSession(csdf_pipeline)
+        session.solve()
+        before = dict(session._cache._blocks)
+        session.scale_task("t", 2)
+        staled = {"t_u_0", "__serial_t"}
+        for key, block in session._cache._blocks.items():
+            assert key[0] not in staled
+            assert before[key] is block
+        assert session_period(session) == cold_period(session.graph)
+
+    def test_invalidation_counters(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        session = DseSession(bounded)
+        session.solve()
+        assert session.invalidated_blocks == 0
+        session.set_capacity("A_B_0", 10)
+        assert session.invalidated_blocks > 0
+        stats = session.stats()
+        assert stats["edits"] == {"capacity": 1}
+        assert stats["invalidated_blocks"] == session.invalidated_blocks
+
+
+# ----------------------------------------------------------------------
+# Warm-start downgrade rule
+# ----------------------------------------------------------------------
+class TestWarmStart:
+    def test_first_solve_skips_then_shrink_seeds(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        session = DseSession(bounded)
+        session.solve()
+        assert session.warm_outcomes == {"skipped": 1}
+        session.set_capacity("A_B_0", 10)      # shrink: seed survives
+        session.solve()
+        assert session.warm_outcomes.get("hit", 0) \
+            + session.warm_outcomes.get("overshoot", 0) == 1
+
+    def test_lowering_edit_downgrades_seed(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        session = DseSession(bounded)
+        session.solve()
+        session.set_capacity("A_B_0", 20)      # growth: λ* may drop
+        session.solve()
+        assert session.warm_outcomes == {"skipped": 2}
+        # the certified K was still reused (q unchanged)
+        assert session._k_valid
+
+    def test_rate_edit_drops_k_and_seed(self, multirate_cycle):
+        session = DseSession(multirate_cycle)
+        session.solve()
+        b = multirate_cycle.buffer("A_B_0")
+        session.set_rates(
+            "A_B_0",
+            production=tuple(r * 2 for r in b.production),
+            consumption=tuple(r * 2 for r in b.consumption),
+        )
+        assert not session._k_valid
+        session.solve()
+        assert session.warm_outcomes == {"skipped": 2}
+
+    def test_warm_disabled_is_identical(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        hot = DseSession(bounded)
+        cold = DseSession(bounded, warm_start=False)
+        for cap in (12, 9, 7):
+            hot.set_capacity("A_B_0", cap)
+            cold.set_capacity("A_B_0", cap)
+            assert session_period(hot) == session_period(cold)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: reset, pickling, edit surface
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_reset_restores_base_point(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        session = DseSession(bounded)
+        base = session.solve().period
+        session.set_capacity("A_B_0", 8)
+        session.scale_task("A", 5)
+        session.reset()
+        assert session.graph is bounded
+        assert session.last_result is None
+        assert session.solve().period == base
+
+    def test_reset_keeps_untouched_blocks(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        session = DseSession(bounded)
+        session.solve()
+        before = dict(session._cache._blocks)
+        session.set_capacity("A_B_0", 10)
+        session.reset()
+        for key, block in session._cache._blocks.items():
+            assert key[0] != "__space_A_B_0"
+            assert before[key] is block
+
+    def test_pickle_roundtrip_preserves_warm_state(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        session = DseSession(bounded)
+        base = session.solve().period
+        session.set_capacity("A_B_0", 10)
+        session.solve()
+        clone = pickle.loads(pickle.dumps(session))
+        assert clone._cache is not session._cache
+        assert len(clone._cache._blocks) == 0   # caches do not travel
+        assert clone.last_result.period == session.last_result.period
+        assert session_period(clone) == session_period(session)
+        clone.reset()
+        assert clone.solve().period == base
+
+    def test_edit_methods_surface_is_live(self):
+        for name in DseSession.EDIT_METHODS:
+            assert callable(getattr(DseSession, name))
+
+    def test_no_op_edits_invalidate_nothing(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        session = DseSession(bounded)
+        session.solve()
+        graph = session.graph
+        session.set_capacity("A_B_0", 12)   # already the capacity
+        session.set_initial_tokens(
+            "A_B_0", bounded.buffer("A_B_0").initial_tokens)
+        assert session.graph is graph
+        assert session.invalidated_blocks == 0
+        assert session._seed_valid
+
+    def test_capacity_edit_requires_bounded_graph(self, multirate_cycle):
+        session = DseSession(multirate_cycle)
+        with pytest.raises(ModelError, match="not capacity-bounded"):
+            session.set_capacity("A_B_0", 9)
+
+    def test_unknown_op_and_extra_keys_raise(self, multirate_cycle):
+        session = DseSession(multirate_cycle)
+        with pytest.raises(ModelError, match="unknown explore op"):
+            session.apply([{"op": "warp"}])
+        with pytest.raises(ModelError, match="unexpected keys"):
+            session.apply(
+                [{"op": "scale_task", "task": "A", "numerator": 2,
+                  "bogus": 1}])
+
+
+# ----------------------------------------------------------------------
+# Explore: manifests, payloads, facade
+# ----------------------------------------------------------------------
+class TestExplore:
+    def points(self):
+        return [
+            {"name": "base"},
+            {"name": "tight",
+             "edits": [{"op": "set_capacity", "buffer": "A_B_0",
+                        "capacity": 8}]},
+            {"name": "slow", "reset": True,
+             "edits": [{"op": "scale_task", "task": "A",
+                        "numerator": 2}]},
+        ]
+
+    def test_run_explore_checked(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        records = list(run_explore(bounded, self.points(), check=True))
+        assert [r["point"] for r in records] == ["base", "tight", "slow"]
+        assert all(r["status"] == "OK" and r["check"] == "OK"
+                   for r in records)
+        base = Fraction(*records[0]["period"])
+        assert Fraction(*records[2]["period"]) > base
+
+    def test_explore_payload_roundtrip(self, multirate_cycle):
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        payload = explore_payload_for(bounded, self.points())
+        assert payload["kind"] == "explore"
+        wire = json.loads(json.dumps(payload))   # crosses the pool
+        outcome = solve_explore_payload(wire)
+        assert outcome["status"] == "OK"
+        assert len(outcome["results"]) == 3
+        assert Fraction(*outcome["results"][0]["period"]) == \
+            cold_period(bounded)
+
+    def test_explore_deadlock_point_is_a_record_not_an_error(
+        self, two_task_cycle
+    ):
+        points = [
+            {"name": "dead",
+             "edits": [{"op": "set_initial_tokens", "buffer": "B_A_0",
+                        "tokens": 0}]},
+            {"name": "alive", "reset": True},
+        ]
+        records = list(run_explore(two_task_cycle, points, check=True))
+        assert records[0]["status"] == "DEADLOCK"
+        assert records[1]["status"] == "OK"
+
+    def test_malformed_manifest_is_an_error_outcome(self, two_task_cycle):
+        payload = explore_payload_for(
+            two_task_cycle, [{"edits": [{"op": "warp"}]}])
+        outcome = solve_explore_payload(payload)
+        assert outcome["status"] == "ERROR"
+        assert "warp" in outcome["error"]
+
+    def test_service_explore_inline(self, multirate_cycle):
+        from repro.service import ThroughputService
+
+        bounded = bound_all_buffers(multirate_cycle, 12)
+        with ThroughputService() as service:
+            records = service.explore(bounded, self.points(), check=True)
+        assert [r["status"] for r in records] == ["OK"] * 3
+
+
+# ----------------------------------------------------------------------
+# Consumers stayed exact through the rewiring
+# ----------------------------------------------------------------------
+class TestRewiredConsumers:
+    def test_storage_curve_matches_cold_probes(self, multirate_cycle):
+        from repro.buffers.sizing import throughput_storage_curve
+
+        curve = throughput_storage_curve(multirate_cycle, [1, 2, 3, 4])
+        for scale, throughput in curve:
+            caps = {
+                b.name: scale * minimal_buffer_capacity(b)
+                for b in multirate_cycle.buffers()
+            }
+            bounded = bound_all_buffers(multirate_cycle, caps)
+            period = cold_period(bounded)
+            if throughput is None:
+                assert period is None
+            else:
+                assert throughput == Fraction(1, 1) / period
+
+    def test_sensitivity_matches_cold_probes(self, multirate_cycle):
+        from repro.analysis.sensitivity import duration_sensitivity
+        from repro.transforms.surgery import with_scaled_task
+
+        result = duration_sensitivity(multirate_cycle)
+        for name, row in result.items():
+            fast = cold_period(
+                with_scaled_task(multirate_cycle, name, 1, 2))
+            slow = cold_period(
+                with_scaled_task(multirate_cycle, name, 2, 1))
+            assert row.period_when_faster == fast
+            assert row.period_when_slower == slow
