@@ -162,6 +162,12 @@ def cmd_batch(args) -> int:
         from repro.obs.trace import configure_tracing
 
         configure_tracing(args.trace)
+    if args.profile:
+        # Same bootstrap rule: pool children inherit REPRO_PROFILE and
+        # append their own envelopes to the same file.
+        from repro.obs.profiler import configure_profiling
+
+        configure_profiling(args.profile)
     rows = _load_manifest(args.manifest)
     cache = (
         ResultCache(disk_root=args.cache_dir)
@@ -259,6 +265,19 @@ def cmd_batch(args) -> int:
     if args.trace:
         print(f"trace: {args.trace} (summarize with `repro trace "
               f"{args.trace}`)")
+    from repro.obs.profiler import (profile_path, profiling_enabled,
+                                    write_profile)
+    if profiling_enabled():
+        # Flush this process's samples now (pool children flush via
+        # their atexit hooks) so the file is complete on return.
+        written = write_profile()
+        if written:
+            print(f"profile: {written} (render with `repro profile "
+                  f"{written}`)")
+        else:
+            print(f"profile: no samples landed in a profiled span "
+                  f"(batch too fast for the sampling interval); "
+                  f"{profile_path()} untouched")
     if args.check:
         checked = sum(1 for _l, _p, e in rows if e is not None)
         print(f"check: {checked - mismatches}/{checked} exact period "
@@ -424,6 +443,7 @@ def cmd_worker(args) -> int:
 
 def cmd_trace(args) -> int:
     from repro.obs.summary import load_events, render_summary
+    from repro.obs.trace import trace_dropped_total
 
     events = load_events(args.file)
     if not events:
@@ -431,8 +451,93 @@ def cmd_trace(args) -> int:
         return 1
     print(render_summary(
         events, top=args.top, trace_id=args.trace_id,
-        max_traces=args.max_traces,
+        max_traces=args.max_traces, dropped=trace_dropped_total(),
     ))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.obs.summary import load_profiles, render_profile
+
+    try:
+        envelopes = load_profiles(args.file)
+    except OSError as exc:
+        raise ReproError(f"cannot read profile {args.file!r}: {exc}")
+    if not envelopes:
+        print(f"no profile envelopes in {args.file}")
+        return 1
+    print(render_profile(envelopes, top=args.top))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.obs.slowlog import render_replay, replay_entry
+
+    try:
+        report = replay_entry(args.entry, trace=not args.no_trace)
+    except (OSError, ValueError, KeyError) as exc:
+        raise ReproError(f"cannot replay {args.entry!r}: {exc}")
+    print(render_replay(report), end="")
+    return 0 if report["match"] else 1
+
+
+def cmd_bench_report(args) -> int:
+    from repro.obs.history import (bench_report, history_path,
+                                   load_history, render_bench_report)
+
+    paths = [Path(p) for p in args.bench] if args.bench else \
+        sorted(Path(".").glob("BENCH_*.json"))
+    hist = Path(args.history) if args.history else history_path()
+    rows = load_history(hist) if hist else []
+    threshold = args.threshold / 100.0
+    report = bench_report(paths, rows, threshold=threshold)
+    print(render_bench_report(report, threshold=threshold), end="")
+    if not report:
+        return 0  # nothing to gate on — CI-friendly no-op
+    regressed = [row for row in report if row["regressed"]]
+    if regressed and not args.informational:
+        return 1
+    return 0
+
+
+def cmd_report(args) -> int:
+    if args.coordinator:
+        from repro.distributed.client import http_text
+
+        status, body = http_text(f"{args.coordinator}/report")
+        if status != 200:
+            raise ReproError(
+                f"coordinator /report returned HTTP {status}")
+        html = body
+    else:
+        import json
+
+        from repro.obs.history import history_path, load_history
+        from repro.obs.metrics import REGISTRY
+        from repro.obs.report import build_report
+        from repro.obs.slowlog import slowlog_entries
+        from repro.obs.summary import load_events
+        from repro.obs.trace import trace_dropped_total
+
+        events = load_events(args.trace) if args.trace else []
+        captures = []
+        for path in slowlog_entries(args.slowlog):
+            try:
+                captures.append(
+                    json.loads(path.read_text(encoding="utf-8")))
+            except (OSError, json.JSONDecodeError):
+                continue
+        hist = Path(args.history) if args.history else history_path()
+        rows = load_history(hist) if hist else []
+        html = build_report(
+            snapshot=REGISTRY.snapshot(), events=events,
+            slowlog_entries=captures, history_rows=rows,
+            dropped=trace_dropped_total(),
+        )
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(html, encoding="utf-8")
+    print(f"wrote {out} ({len(html)} bytes)")
     return 0
 
 
@@ -803,6 +908,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="record a flight-recorder trace (JSONL spans; "
                         "summarize with `repro trace FILE`)")
+    p.add_argument("--profile", default=None, metavar="FILE",
+                   help="attach the sampling profiler (JSONL envelopes; "
+                        "render with `repro profile FILE`)")
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
@@ -909,6 +1017,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-traces", type=int, default=5,
                    help="span trees rendered before eliding")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="render a sampling-profiler file (flame/self-time tables)",
+    )
+    p.add_argument("file", help="JSONL profile (from `repro batch "
+                                "--profile` or REPRO_PROFILE=1)")
+    p.add_argument("--top", type=int, default=15,
+                   help="frames shown per span")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-solve a slowlog capture and diff it (nonzero exit on "
+             "λ* mismatch)",
+    )
+    p.add_argument("entry", help="slowlog JSON file "
+                                 "(see results/slowlog/)")
+    p.add_argument("--no-trace", action="store_true",
+                   help="skip the replay trace / self-time diff")
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "bench-report",
+        help="compare BENCH_*.json against best-of-history (nonzero "
+             "exit on regression)",
+    )
+    p.add_argument("bench", nargs="*",
+                   help="BENCH_*.json files (default: glob the current "
+                        "directory)")
+    p.add_argument("--history", default=None, metavar="FILE",
+                   help="history JSONL (default: "
+                        "results/bench_history.jsonl, or "
+                        "$REPRO_BENCH_HISTORY)")
+    p.add_argument("--threshold", type=float, default=30.0,
+                   help="regression threshold in percent (default 30)")
+    p.add_argument("--informational", action="store_true",
+                   help="report regressions but always exit 0")
+    p.set_defaults(func=cmd_bench_report)
+
+    p = sub.add_parser(
+        "report",
+        help="write the static HTML ops report",
+    )
+    p.add_argument("-o", "--output", required=True,
+                   help="HTML file to write")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="fold a JSONL trace file into the span sections")
+    p.add_argument("--slowlog", default=None, metavar="DIR",
+                   help="slowlog directory (default: the configured "
+                        "root, or $REPRO_SLOWLOG)")
+    p.add_argument("--history", default=None, metavar="FILE",
+                   help="bench history JSONL (default: "
+                        "results/bench_history.jsonl)")
+    p.add_argument("--coordinator", default=None, metavar="URL",
+                   help="fetch a live coordinator's GET /report instead "
+                        "of building locally")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("convert", help="convert between formats")
     p.add_argument("input")

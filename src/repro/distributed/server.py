@@ -20,6 +20,7 @@ speaking the canonical job JSON:
 ``POST /results/fetch``    batched outcome poll
 ``GET/PUT /cache/<digest>``the remote-cache surface (HTTPCacheBackend)
 ``GET  /metrics``          Prometheus text scrape (own + worker metrics)
+``GET  /report``           static HTML ops report (metrics/spans/slowlog)
 ``GET  /trace/<trace_id>`` every stored flight-recorder event of a trace
 ``POST /trace``            workers ship buffered trace events here
 ========================  ==============================================
@@ -55,6 +56,7 @@ from repro.obs.metrics import (
     merge_snapshots,
     render_prometheus,
 )
+from repro.obs.trace import trace_dropped_total
 
 
 class Coordinator:
@@ -291,21 +293,23 @@ class Coordinator:
             "submitted": int(self._submitted_cell.value),
             "cache_short_circuits": int(self._short_circuit_cell.value),
             "trace_events": trace_events,
+            "trace_dropped": trace_dropped_total(),
             "cache": self.cache.stats(),
             "queue": self.queue.stats(),
             "dead_letters": self.queue.dead_letters(),
             "workers": workers,
         }
 
-    def metrics_text(self) -> str:
-        """The ``/metrics`` scrape: Prometheus text exposition.
+    def _merged_snapshot(self) -> Dict[str, Any]:
+        """Worker snapshots + own registry + scrape-time gauges, merged.
 
-        Folds this process's registry, every worker's latest shipped
-        snapshot, and scrape-time gauges (queue depth by state, cache
-        entries, known workers) into one exposition. With in-process
-        workers the worker snapshots overlap the coordinator's own
-        registry — remote daemons, the deployment this surface exists
-        for, each bring a disjoint process registry.
+        Remote daemons each bring a disjoint process registry and sum
+        cleanly.  An *in-process* worker ships snapshots of the same
+        global registry this coordinator scrapes — those carry the
+        coordinator's own snapshot identity, so
+        :func:`~repro.obs.metrics.merge_snapshots` dedupes them (the
+        live scrape-time snapshot, listed last, wins) instead of
+        counting the registry twice.
         """
         with self._lock:
             worker_snapshots = list(self._worker_metrics.values())
@@ -318,10 +322,44 @@ class Coordinator:
         if entries is not None:
             gauges.gauge("repro_cache_entries").set(entries)
         gauges.gauge("repro_workers_known").set(workers_known)
-        merged = merge_snapshots(
-            [REGISTRY.snapshot()] + worker_snapshots + [gauges.snapshot()]
+        return merge_snapshots(
+            worker_snapshots + [REGISTRY.snapshot(), gauges.snapshot()]
         )
-        return render_prometheus(merged)
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` scrape: Prometheus text exposition."""
+        return render_prometheus(self._merged_snapshot())
+
+    def report_html(self) -> str:
+        """The ``GET /report`` page: the full ops report as static HTML.
+
+        Folds the merged metrics view, this node's stored trace events,
+        and any local slowlog captures / bench history into one
+        self-contained page.
+        """
+        from repro.obs.history import history_path, load_history
+        from repro.obs.report import build_report
+        from repro.obs.slowlog import slowlog_entries
+
+        with self._lock:
+            events = list(self._trace_events)
+        captures = []
+        for path in slowlog_entries()[-20:]:
+            try:
+                captures.append(json.loads(
+                    path.read_text(encoding="utf-8")))
+            except (OSError, json.JSONDecodeError):
+                continue
+        hist_path = history_path()
+        history_rows = load_history(hist_path) if hist_path else []
+        return build_report(
+            snapshot=self._merged_snapshot(),
+            events=events,
+            slowlog_entries=captures,
+            history_rows=history_rows,
+            dropped=trace_dropped_total(),
+            title="repro coordinator report",
+        )
 
     def healthz(self) -> Dict[str, Any]:
         return {"ok": True, "uptime": round(time.time() - self.started, 3)}
@@ -355,6 +393,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_html(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -382,6 +428,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self._core.stats())
             elif path == "/metrics":
                 self._send_text(200, self._core.metrics_text())
+            elif path == "/report":
+                self._send_html(200, self._core.report_html())
             elif path.startswith("/trace/"):
                 trace_id = path[len("/trace/"):]
                 events = self._core.trace(trace_id)

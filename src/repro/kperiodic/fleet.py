@@ -48,6 +48,7 @@ from repro.mcrp.batched import (
 )
 from repro.mcrp.registry import get_engine
 from repro.obs.metrics import REGISTRY as _REGISTRY
+from repro.obs.slowlog import observe_solve as _observe_solve
 from repro.obs.trace import emit_event as _emit_event
 from repro.obs.trace import span as _span
 
@@ -164,6 +165,8 @@ def solve_fleet_payloads(
         }
         _SOLVER_JOBS.labels(status=status).inc()
         _SOLVER_SECONDS.observe(outcomes[job.index]["wall_time"])
+        _observe_solve(outcomes[job.index]["wall_time"], job.payload,
+                       outcomes[job.index])
         _emit_job_event(job.payload, outcomes[job.index])
 
     # Route, validate and group by primary engine (one batched kernel
@@ -250,8 +253,8 @@ def _run_group(
                 batch.append((job, prepared))
         if not batch:
             break
-        with _span("fleet.round", engine=engine, fleet=len(batch),
-                   round=fleet_round):
+        with _span("fleet.round", profile=True, engine=engine,
+                   fleet=len(batch), round=fleet_round):
             results = batched_solve_mcrp(
                 [prepared.bi_graph for _, prepared in batch],
                 engine=engine,
@@ -295,6 +298,8 @@ def _run_group(
                     _SOLVER_JOBS.labels(status="OK").inc()
                     _SOLVER_SECONDS.observe(
                         outcomes[job.index]["wall_time"])
+                    _observe_solve(outcomes[job.index]["wall_time"],
+                                   job.payload, outcomes[job.index])
                     _emit_job_event(job.payload, outcomes[job.index])
                 else:
                     pending.append(job)

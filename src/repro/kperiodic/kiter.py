@@ -40,6 +40,7 @@ from repro.kperiodic.solver import (
     solve_prepared_min_period,
 )
 from repro.obs.metrics import REGISTRY as _REGISTRY
+from repro.obs.slowlog import observe_solve as _observe_solve
 from repro.obs.trace import span as _span
 from repro.utils.rational import lcm_list
 from repro.utils.timing import TimeBudget
@@ -596,13 +597,14 @@ def solve_kiter_payload(
     # Adopt the trace context the facade put in the payload (if any) so
     # this span — and every kiter.round under it — lands in the job's
     # trace even across process/host boundaries.
-    with _span("job.solve", trace=payload.get("trace"),
+    with _span("job.solve", trace=payload.get("trace"), profile=True,
                digest=str(payload.get("digest", ""))[:12],
                engine=engines[0]) as job_span:
         outcome = attempt()
         job_span.attrs["status"] = outcome["status"]
     _SOLVER_JOBS.labels(status=outcome["status"]).inc()
     _SOLVER_SECONDS.observe(outcome["wall_time"])
+    _observe_solve(outcome["wall_time"], payload, outcome)
     return outcome
 
 

@@ -1,27 +1,41 @@
-"""repro.obs — the flight recorder: metrics registry + span tracer.
+"""repro.obs — the performance observatory.
 
 Stdlib-only observability for the whole stack: a process-local
 :class:`~repro.obs.metrics.MetricsRegistry` (counters / gauges /
 histograms, parent-chained so per-object stats and the global
 ``/metrics`` surface share cells), a JSONL span tracer gated on
-``REPRO_TRACE``, the trace summarizer behind ``repro trace``, and the
-shared ``BENCH_*.json`` emission schema.
+``REPRO_TRACE``, a sampling profiler gated on ``REPRO_PROFILE``, a
+slow-solve capture/replay log gated on ``REPRO_SLOWLOG``, the
+commit-stamped bench history behind ``repro bench-report``, the trace
+summarizer behind ``repro trace``, the shared ``BENCH_*.json``
+emission schema, and the static HTML ops report behind ``repro
+report`` / ``GET /report``.
 
 See ``docs/observability.md`` for the span taxonomy and metric-name
 table (pinned to :data:`METRICS` by ``tests/test_docs.py``).
 """
 
+from .history import (append_history, bench_report, history_path,
+                      load_history, render_bench_report)
 from .metrics import (METRICS, MetricSpec, MetricsRegistry, REGISTRY,
-                      merge_snapshots, render_prometheus)
+                      SNAPSHOT_IDENTITY_KEY, merge_snapshots,
+                      render_prometheus)
+from .profiler import (configure_profiling, profile_path,
+                       profiling_enabled, take_profile, write_profile)
+from .report import build_report, write_report
+from .slowlog import (RollingQuantile, configure_slowlog, observe_solve,
+                      replay_entry, render_replay, slowlog_enabled,
+                      slowlog_entries, slowlog_root)
 from .trace import (collect_events, configure_tracing, current_trace,
-                    emit_event, new_trace_id, span, trace_path,
-                    tracing_enabled)
+                    emit_event, new_trace_id, span, trace_dropped_total,
+                    trace_path, tracing_enabled)
 
 __all__ = [
     "METRICS",
     "MetricSpec",
     "MetricsRegistry",
     "REGISTRY",
+    "SNAPSHOT_IDENTITY_KEY",
     "merge_snapshots",
     "render_prometheus",
     "span",
@@ -32,4 +46,25 @@ __all__ = [
     "new_trace_id",
     "current_trace",
     "collect_events",
+    "trace_dropped_total",
+    "configure_profiling",
+    "profiling_enabled",
+    "profile_path",
+    "take_profile",
+    "write_profile",
+    "RollingQuantile",
+    "configure_slowlog",
+    "slowlog_enabled",
+    "slowlog_root",
+    "slowlog_entries",
+    "observe_solve",
+    "replay_entry",
+    "render_replay",
+    "history_path",
+    "append_history",
+    "load_history",
+    "bench_report",
+    "render_bench_report",
+    "build_report",
+    "write_report",
 ]

@@ -74,4 +74,8 @@ def emit_bench(bench: str, metrics: Iterable[Dict[str, object]],
     path = Path(out_dir) / f"BENCH_{bench}.json"
     path.write_text(json.dumps(envelope, indent=2) + "\n",
                     encoding="utf-8")
+    # Best-effort trend row(s): the gate JSON is the artifact of
+    # record, the history powers `repro bench-report` trajectories.
+    from .history import append_history, history_path
+    append_history(envelope, history_path(out_dir))
     return envelope

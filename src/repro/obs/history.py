@@ -1,0 +1,218 @@
+"""Bench history: commit-stamped trajectories and regression reports.
+
+Every :func:`repro.obs.bench.emit_bench` call appends its metric rows
+to ``results/bench_history.jsonl`` (one JSON object per row), so the
+``BENCH_*.json`` gate numbers grow a trend dimension for free::
+
+    {"bench": "expansion", "name": "cold_wall_s", "value": 0.41,
+     "unit": "s", "commit": "<sha|''>", "ts": 1754650000.0}
+
+``repro bench-report`` then compares the *current* ``BENCH_*.json``
+files against the best value the history has ever recorded for each
+``(bench, name)`` pair and exits nonzero when any metric regressed by
+more than the threshold (default 30 %).  "Best" respects direction:
+time-like metrics (``unit`` in seconds/ms, or a name ending in
+``_seconds``/``_s``) regress upward, throughput-like metrics regress
+downward; a row may carry an explicit ``direction`` of ``"lower"`` or
+``"higher"`` to override the inference.
+
+The history file location honors ``REPRO_BENCH_HISTORY``: unset →
+``<out_dir>/results/bench_history.jsonl``, a path → that file,
+``0``/``false`` → appending disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "history_path",
+    "append_history",
+    "load_history",
+    "metric_direction",
+    "bench_report",
+    "render_bench_report",
+]
+
+_ENV = "REPRO_BENCH_HISTORY"
+_DEFAULT_RELPATH = Path("results") / "bench_history.jsonl"
+
+#: Units whose metrics regress by going *up* (latency-like).
+_LOWER_BETTER_UNITS = {"s", "sec", "secs", "second", "seconds", "ms",
+                       "millisecond", "milliseconds", "us", "rounds"}
+
+
+def history_path(out_dir: str = ".") -> Optional[Path]:
+    """Where history rows go, or ``None`` when appending is disabled."""
+    raw = os.environ.get(_ENV, "").strip()
+    if raw == "0" or raw.lower() == "false":
+        return None
+    if raw:
+        return Path(raw)
+    return Path(out_dir) / _DEFAULT_RELPATH
+
+
+def append_history(envelope: Dict[str, object],
+                   path: Optional[Path] = None) -> Optional[Path]:
+    """Append one ``repro-bench/1`` envelope's rows to the history.
+
+    Returns the path written, or ``None`` when disabled.  Never raises
+    on I/O problems — history is best-effort, the gate JSON is the
+    artifact of record.
+    """
+    if path is None:
+        path = history_path()
+    if path is None:
+        return None
+    rows = []
+    for metric in envelope.get("metrics", []):  # type: ignore[union-attr]
+        value = metric.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue  # only numeric rows can trend
+        row = {
+            "bench": envelope.get("bench", ""),
+            "name": metric.get("name", ""),
+            "value": value,
+            "unit": metric.get("unit", ""),
+            "commit": metric.get("commit", envelope.get("commit", "")),
+            "ts": time.time(),
+        }
+        if "direction" in metric:
+            row["direction"] = metric["direction"]
+        rows.append(json.dumps(row, separators=(",", ":")))
+    if not rows:
+        return None
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(path),
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, ("\n".join(rows) + "\n").encode("utf-8"))
+        finally:
+            os.close(fd)
+    except OSError:
+        return None
+    return path
+
+
+def load_history(path) -> List[Dict[str, object]]:
+    """Parse a history JSONL file, skipping malformed lines."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    rows: List[Dict[str, object]] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(row, dict) and isinstance(
+                row.get("value"), (int, float)):
+            rows.append(row)
+    return rows
+
+
+def metric_direction(row: Dict[str, object]) -> str:
+    """``"lower"`` or ``"higher"`` — which way is better for this row."""
+    explicit = row.get("direction")
+    if explicit in ("lower", "higher"):
+        return explicit  # type: ignore[return-value]
+    unit = str(row.get("unit", "")).lower()
+    name = str(row.get("name", ""))
+    if unit in _LOWER_BETTER_UNITS or name.endswith(("_seconds", "_s",
+                                                     "_ms", "_wall")):
+        return "lower"
+    return "higher"
+
+
+def _load_bench_file(path) -> Optional[Dict[str, object]]:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict) or data.get("schema") != "repro-bench/1":
+        return None  # e.g. pytest-benchmark JSONs share the BENCH_ prefix
+    return data
+
+
+def bench_report(bench_paths: Iterable, history_rows: List[Dict[str, object]],
+                 threshold: float = 0.30) -> List[Dict[str, object]]:
+    """Compare current ``BENCH_*.json`` files against best-of-history.
+
+    Returns one row per current metric: ``bench``, ``name``, ``value``,
+    ``unit``, ``direction``, ``baseline`` (best historic value, or
+    ``None`` with no history), ``change`` (signed fraction, positive =
+    worse) and ``regressed`` (change > threshold).
+    """
+    best: Dict[tuple, float] = {}
+    for row in history_rows:
+        key = (row.get("bench"), row.get("name"))
+        value = float(row["value"])  # type: ignore[arg-type]
+        current = best.get(key)
+        if current is None:
+            best[key] = value
+        elif metric_direction(row) == "lower":
+            best[key] = min(current, value)
+        else:
+            best[key] = max(current, value)
+    report: List[Dict[str, object]] = []
+    for path in bench_paths:
+        envelope = _load_bench_file(path)
+        if envelope is None:
+            continue
+        bench = envelope.get("bench", "")
+        for metric in envelope.get("metrics", []):
+            value = metric.get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            direction = metric_direction(metric)
+            baseline = best.get((bench, metric.get("name")))
+            change: Optional[float] = None
+            if baseline is not None and baseline != 0:
+                if direction == "lower":
+                    change = (value - baseline) / baseline
+                else:
+                    change = (baseline - value) / baseline
+            report.append({
+                "bench": bench,
+                "name": metric.get("name", ""),
+                "value": value,
+                "unit": metric.get("unit", ""),
+                "direction": direction,
+                "baseline": baseline,
+                "change": change,
+                "regressed": change is not None and change > threshold,
+            })
+    return report
+
+
+def render_bench_report(report: List[Dict[str, object]],
+                        threshold: float = 0.30) -> str:
+    """Human-readable regression table for ``repro bench-report``."""
+    if not report:
+        return "no repro-bench/1 files found\n"
+    lines = [f"bench report (regression threshold "
+             f"{threshold * 100:.0f}% vs best-of-history)",
+             f"  {'bench':<14} {'metric':<26} {'value':>12} "
+             f"{'baseline':>12} {'change':>8}  verdict"]
+    for row in report:
+        baseline = row["baseline"]
+        baseline_text = (f"{baseline:.4g}" if baseline is not None else "—")
+        change = row["change"]
+        change_text = f"{change * 100:+.1f}%" if change is not None else "—"
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        if baseline is None:
+            verdict = "no-history"
+        lines.append(f"  {str(row['bench']):<14} {str(row['name']):<26} "
+                     f"{row['value']:>12.4g} {baseline_text:>12} "
+                     f"{change_text:>8}  {verdict}")
+    worst = [row for row in report if row["regressed"]]
+    lines.append(f"{len(report)} metrics checked, {len(worst)} regressed")
+    return "\n".join(lines) + "\n"

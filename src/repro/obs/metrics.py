@@ -30,7 +30,9 @@ inside heartbeats; :func:`merge_snapshots` sums them and
 
 from __future__ import annotations
 
+import os
 import threading
+import uuid
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -39,9 +41,16 @@ __all__ = [
     "MetricSpec",
     "MetricsRegistry",
     "REGISTRY",
+    "SNAPSHOT_IDENTITY_KEY",
     "merge_snapshots",
     "render_prometheus",
 ]
+
+#: Reserved snapshot key carrying the producing registry's process
+#: identity (``"<pid>-<seed>"``).  Keys starting with ``__`` are
+#: metadata, never metric families — :func:`merge_snapshots` and
+#: :func:`render_prometheus` skip them.
+SNAPSHOT_IDENTITY_KEY = "__process__"
 
 
 @dataclass(frozen=True)
@@ -158,6 +167,16 @@ METRICS: Dict[str, MetricSpec] = {
     # --- benches -----------------------------------------------------
     "repro_bench_value": MetricSpec(
         "gauge", "Latest benchmark gate numbers", ("bench", "name")),
+    # --- observatory -------------------------------------------------
+    "repro_trace_dropped_total": MetricSpec(
+        "counter", "Trace events dropped by the full ring buffer"),
+    "repro_profile_samples_total": MetricSpec(
+        "counter", "Sampling-profiler stack samples attributed to a span",
+        ("span",)),
+    "repro_slowlog_entries_total": MetricSpec(
+        "counter", "Slow-solve captures persisted to the slowlog"),
+    "repro_slowlog_replays_total": MetricSpec(
+        "counter", "Slowlog replays, by comparison outcome", ("outcome",)),
 }
 
 
@@ -271,6 +290,11 @@ class MetricsRegistry:
         self._parent = parent
         self._metrics: Dict[str, _Metric] = {}
         self._lock = threading.Lock()
+        # Per-instance identity seed.  Snapshots stamp this together
+        # with the pid (read at snapshot time, so forked children
+        # diverge) — merge_snapshots dedupes repeated ships of the
+        # *same* registry while still summing distinct registries.
+        self._seed = uuid.uuid4().hex[:12]
 
     # -- family accessors --------------------------------------------
     def counter(self, name: str) -> _Metric:
@@ -359,8 +383,13 @@ class MetricsRegistry:
         Shape: ``{name: {"type": t, "samples": [[labels, value], ...]}}``
         where a histogram value is ``{"buckets": [...], "sum": s,
         "count": n}`` (bucket counts are per-bucket, not cumulative).
+        The reserved :data:`SNAPSHOT_IDENTITY_KEY` entry identifies the
+        producing registry instance so repeated ships of the same
+        snapshot dedupe instead of double-counting on merge.
         """
-        out: Dict[str, object] = {}
+        out: Dict[str, object] = {
+            SNAPSHOT_IDENTITY_KEY: f"{os.getpid()}-{self._seed}",
+        }
         for name, metric in list(self._metrics.items()):
             spec = metric.spec
             samples: List[List[object]] = []
@@ -391,11 +420,30 @@ def merge_snapshots(snapshots: Iterable[Dict[str, object]]
 
     Used by the coordinator to fold worker heartbeat snapshots into its
     own process snapshot before rendering ``/metrics``.
+
+    Snapshots carrying the same :data:`SNAPSHOT_IDENTITY_KEY` identity
+    come from the *same registry instance* (e.g. a worker's in-process
+    ship of the coordinator's own global registry): only the last one
+    is merged, so one registry can never be counted twice.  Snapshots
+    without an identity (older producers) always merge.
     """
+    distinct: List[Dict[str, object]] = []
+    by_identity: Dict[str, int] = {}
+    for snap in snapshots:
+        identity = snap.get(SNAPSHOT_IDENTITY_KEY)
+        if isinstance(identity, str):
+            seen = by_identity.get(identity)
+            if seen is not None:
+                distinct[seen] = snap  # later ship supersedes
+                continue
+            by_identity[identity] = len(distinct)
+        distinct.append(snap)
     merged: Dict[str, Dict[Tuple[Tuple[str, str], ...], object]] = {}
     types: Dict[str, str] = {}
-    for snap in snapshots:
+    for snap in distinct:
         for name, family in snap.items():
+            if name.startswith("__"):  # reserved metadata keys
+                continue
             ftype = family.get("type", "counter")  # type: ignore[union-attr]
             types[name] = ftype
             cells = merged.setdefault(name, {})
@@ -456,7 +504,8 @@ def render_prometheus(snapshot: Dict[str, object]) -> str:
     lines: List[str] = []
     # declaration order keeps scrapes stable and diffable
     ordered = [n for n in METRICS if n in snapshot]
-    ordered += [n for n in snapshot if n not in METRICS]
+    ordered += [n for n in snapshot
+                if n not in METRICS and not n.startswith("__")]
     for name in ordered:
         family = snapshot[name]
         ftype = family.get("type", "counter")  # type: ignore[union-attr]

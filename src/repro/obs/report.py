@@ -1,0 +1,213 @@
+"""Static HTML ops report: one self-contained page, zero dependencies.
+
+:func:`build_report` folds whatever observability surfaces exist —
+a metrics snapshot, trace events, slowlog captures, bench history —
+into one HTML string (inline CSS, inline SVG sparklines, no scripts,
+no external assets), so the page works as a CI artifact, an email
+attachment, or the coordinator's ``GET /report`` response.
+
+Sections render only when their input is present; an empty observatory
+still produces a valid page saying so.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .bench import bench_commit
+from .metrics import METRICS, SNAPSHOT_IDENTITY_KEY
+from .summary import aggregate, render_summary
+
+__all__ = ["build_report", "write_report"]
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 72rem; color: #1a1a2e; padding: 0 1rem; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem;
+border-bottom: 1px solid #ddd; padding-bottom: .25rem; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th, td { text-align: left; padding: .25rem .6rem;
+         border-bottom: 1px solid #eee; }
+th { background: #f6f6fa; } td.num, th.num { text-align: right;
+font-variant-numeric: tabular-nums; }
+pre { background: #f6f6fa; padding: .75rem; overflow-x: auto;
+      font-size: 12px; }
+.muted { color: #888; } .bad { color: #b00020; font-weight: 600; }
+.ok { color: #1b7a2f; }
+svg.spark { vertical-align: middle; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _metric_rows(snapshot: Dict[str, object]) -> List[str]:
+    rows: List[str] = []
+    names = [n for n in METRICS if n in snapshot]
+    names += sorted(n for n in snapshot
+                    if n not in METRICS and not n.startswith("__"))
+    for name in names:
+        family = snapshot[name]
+        ftype = family.get("type", "counter")  # type: ignore[union-attr]
+        spec = METRICS.get(name)
+        for labels, value in family.get("samples", []):  # type: ignore
+            if isinstance(value, dict):  # histogram
+                text = (f"count={value.get('count', 0)} "
+                        f"sum={value.get('sum', 0.0):.6g}s")
+            else:
+                text = f"{value:.6g}" if isinstance(value, float) \
+                    else str(value)
+            label_text = ", ".join(f"{k}={v}"
+                                   for k, v in sorted(labels.items()))
+            rows.append(
+                f"<tr><td><code>{_esc(name)}</code></td>"
+                f"<td>{_esc(ftype)}</td>"
+                f"<td>{_esc(label_text) or '—'}</td>"
+                f"<td class=num>{_esc(text)}</td>"
+                f"<td class=muted>{_esc(spec.help if spec else '')}</td>"
+                f"</tr>")
+    return rows
+
+
+def _sparkline(values: List[float], width: int = 160,
+               height: int = 28) -> str:
+    if len(values) < 2:
+        return "<span class=muted>—</span>"
+    low, high = min(values), max(values)
+    spread = (high - low) or 1.0
+    step = width / (len(values) - 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - 2 - (v - low) / spread * (height - 4):.1f}"
+        for i, v in enumerate(values))
+    return (f'<svg class=spark width={width} height={height} '
+            f'viewBox="0 0 {width} {height}">'
+            f'<polyline fill="none" stroke="#4054b2" stroke-width="1.5" '
+            f'points="{points}"/></svg>')
+
+
+def _history_section(history_rows: List[Dict[str, object]]) -> List[str]:
+    series: Dict[tuple, List[Dict[str, object]]] = {}
+    for row in history_rows:
+        series.setdefault((str(row.get("bench")), str(row.get("name"))),
+                          []).append(row)
+    parts = ["<h2>Bench trajectories</h2>"]
+    if not series:
+        parts.append("<p class=muted>no bench history recorded</p>")
+        return parts
+    parts.append("<table><tr><th>bench</th><th>metric</th>"
+                 "<th class=num>latest</th><th class=num>best</th>"
+                 "<th class=num>points</th><th>trend</th></tr>")
+    for (bench, name), rows in sorted(series.items()):
+        rows.sort(key=lambda r: r.get("ts", 0.0))
+        values = [float(r["value"]) for r in rows]
+        unit = str(rows[-1].get("unit", ""))
+        from .history import metric_direction
+        best = (min(values) if metric_direction(rows[-1]) == "lower"
+                else max(values))
+        parts.append(
+            f"<tr><td>{_esc(bench)}</td><td>{_esc(name)}</td>"
+            f"<td class=num>{values[-1]:.4g} {_esc(unit)}</td>"
+            f"<td class=num>{best:.4g}</td>"
+            f"<td class=num>{len(values)}</td>"
+            f"<td>{_sparkline(values)}</td></tr>")
+    parts.append("</table>")
+    return parts
+
+
+def _slowlog_section(entries: Iterable[Dict[str, object]]) -> List[str]:
+    parts = ["<h2>Slowlog</h2>"]
+    entries = list(entries)
+    if not entries:
+        parts.append("<p class=muted>no slow-solve captures</p>")
+        return parts
+    parts.append("<table><tr><th>captured</th><th class=num>seconds</th>"
+                 "<th class=num>threshold</th><th>status</th>"
+                 "<th>digest</th><th class=num>spans</th></tr>")
+    for entry in entries:
+        outcome = entry.get("outcome") or {}
+        payload = entry.get("payload") or {}
+        when = entry.get("captured_at")
+        when_text = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.gmtime(when)) if when else "—"
+        parts.append(
+            f"<tr><td>{_esc(when_text)}</td>"
+            f"<td class=num>{float(entry.get('seconds', 0.0)):.4f}</td>"
+            f"<td class=num>{float(entry.get('threshold', 0.0)):.4f}</td>"
+            f"<td>{_esc(outcome.get('status', '?'))}</td>"
+            f"<td><code>{_esc(str(payload.get('digest', ''))[:12])}"
+            f"</code></td>"
+            f"<td class=num>{len(entry.get('trace') or [])}</td></tr>")
+    parts.append("</table>")
+    return parts
+
+
+def build_report(*, snapshot: Optional[Dict[str, object]] = None,
+                 events: Optional[List[Dict]] = None,
+                 slowlog_entries: Optional[List[Dict[str, object]]] = None,
+                 history_rows: Optional[List[Dict[str, object]]] = None,
+                 dropped: int = 0, top: int = 10,
+                 title: str = "repro ops report") -> str:
+    """Render the ops report as one self-contained HTML string."""
+    now = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
+    commit = bench_commit()
+    identity = ""
+    if snapshot:
+        identity = str(snapshot.get(SNAPSHOT_IDENTITY_KEY, ""))
+    parts: List[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class=muted>generated {now}"
+        + (f" · commit <code>{_esc(commit[:12])}</code>" if commit else "")
+        + (f" · registry <code>{_esc(identity)}</code>" if identity else "")
+        + "</p>",
+    ]
+
+    parts.append("<h2>Metric families</h2>")
+    rows = _metric_rows(snapshot) if snapshot else []
+    if rows:
+        parts.append("<table><tr><th>family</th><th>type</th>"
+                     "<th>labels</th><th class=num>value</th>"
+                     "<th>help</th></tr>")
+        parts.extend(rows)
+        parts.append("</table>")
+    else:
+        parts.append("<p class=muted>no metrics recorded</p>")
+
+    parts.append("<h2>Spans</h2>")
+    if events:
+        table = aggregate(events)[:top]
+        parts.append("<table><tr><th>span</th><th class=num>count</th>"
+                     "<th class=num>total s</th><th class=num>self s"
+                     "</th></tr>")
+        for row in table:
+            parts.append(
+                f"<tr><td><code>{_esc(row['name'])}</code></td>"
+                f"<td class=num>{int(row['count'])}</td>"
+                f"<td class=num>{row['total']:.4f}</td>"
+                f"<td class=num>{row['self']:.4f}</td></tr>")
+        parts.append("</table>")
+        parts.append("<h3>Span trees</h3>")
+        parts.append(f"<pre>{_esc(render_summary(events, top=top))}</pre>")
+    else:
+        parts.append("<p class=muted>no trace events</p>")
+    if dropped:
+        parts.append(f"<p class=bad>ring buffer dropped {dropped} "
+                     f"events — span views are incomplete</p>")
+
+    parts.extend(_slowlog_section(slowlog_entries or []))
+    parts.extend(_history_section(history_rows or []))
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_report(path, **kwargs) -> Path:
+    """Write :func:`build_report` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_report(**kwargs), encoding="utf-8")
+    return path

@@ -1,0 +1,330 @@
+"""Slowlog: latency-outlier capture and deterministic replay.
+
+The solver's ``repro_solver_seconds`` observation sites also feed a
+:class:`RollingQuantile` tracker here.  Once the window has warmed up,
+a job slower than ``max(min_seconds, factor × p-quantile)`` is
+captured: the canonical job payload, the outcome, the job's trace
+spans (when tracing is on) and a metrics snapshot are persisted as one
+JSON file under ``results/slowlog/``, bounded to ``max_entries`` files
+(oldest evicted first).
+
+Because the payload is the exact dict
+:func:`repro.kperiodic.kiter.solve_kiter_payload` consumes, a capture
+is replayable: :func:`replay_entry` re-solves it deterministically and
+diffs λ* (``period``), ``status``, ``rounds`` and the per-span
+self-time table against the capture — ``repro replay <entry>`` renders
+the diff and exits nonzero when λ* diverges.
+
+Capture is off unless ``REPRO_SLOWLOG`` is set (``1``/``true`` →
+``results/slowlog`` under the current directory, anything else → that
+directory) or :func:`configure_slowlog` is called.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .metrics import REGISTRY
+from .summary import aggregate
+from .trace import (collect_events, configure_tracing, new_trace_id,
+                    tracing_enabled)
+
+__all__ = [
+    "SLOWLOG_SCHEMA",
+    "RollingQuantile",
+    "configure_slowlog",
+    "slowlog_enabled",
+    "slowlog_root",
+    "slowlog_entries",
+    "observe_solve",
+    "replay_entry",
+    "render_replay",
+]
+
+_ENV = "REPRO_SLOWLOG"
+SLOWLOG_SCHEMA = "repro-slowlog/1"
+
+
+class RollingQuantile:
+    """Exact quantiles over a sliding window of observations.
+
+    Keeps the window both in arrival order (a deque, for eviction) and
+    sorted (for O(log n) insert/remove via :mod:`bisect`), so
+    :meth:`quantile` is exact — linear interpolation between order
+    statistics, the same definition as ``statistics.quantiles`` with
+    ``method="inclusive"``.
+    """
+
+    def __init__(self, window: int = 512) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._order: deque = deque()
+        self._sorted: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if len(self._order) == self.window:
+            oldest = self._order.popleft()
+            index = bisect.bisect_left(self._sorted, oldest)
+            del self._sorted[index]
+        self._order.append(value)
+        bisect.insort(self._sorted, value)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile (0 ≤ q ≤ 1) of the window, or ``None``."""
+        if not self._sorted:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        position = q * (len(self._sorted) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(self._sorted) - 1)
+        fraction = position - lower
+        return (self._sorted[lower] * (1.0 - fraction)
+                + self._sorted[upper] * fraction)
+
+
+class _SlowLog:
+    """Singleton owning the tracker, the threshold rule and the files."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.root: Optional[Path] = None
+        self.quantile_q = 0.99
+        self.factor = 2.0
+        self.min_seconds = 0.05
+        self.warmup = 20
+        self.max_entries = 50
+        self.tracker = RollingQuantile()
+        self._entries_cell = REGISTRY.counter("repro_slowlog_entries_total")
+
+    def configure(self, root, *, window: int = 512, quantile: float = 0.99,
+                  factor: float = 2.0, min_seconds: float = 0.05,
+                  warmup: int = 20, max_entries: int = 50) -> None:
+        self.enabled = root is not None
+        self.root = Path(root) if root is not None else None
+        self.quantile_q = quantile
+        self.factor = factor
+        self.min_seconds = min_seconds
+        self.warmup = warmup
+        self.max_entries = max_entries
+        self.tracker = RollingQuantile(window)
+        if root is not None:
+            os.environ[_ENV] = str(root)
+        else:
+            os.environ.pop(_ENV, None)
+
+    def observe(self, seconds: float, payload: Dict[str, object],
+                outcome: Dict[str, object]) -> Optional[Path]:
+        if not self.enabled:
+            return None
+        # Threshold from the window *before* this sample joins it, so
+        # one huge outlier can't raise the bar it is judged against.
+        threshold = None
+        if len(self.tracker) >= self.warmup:
+            quantile_value = self.tracker.quantile(self.quantile_q)
+            threshold = max(self.min_seconds,
+                            self.factor * quantile_value)
+        self.tracker.add(seconds)
+        if threshold is None or seconds <= threshold:
+            return None
+        try:
+            return self._capture(seconds, threshold, payload, outcome)
+        except (OSError, TypeError, ValueError):  # never fail the solve
+            return None
+
+    def _capture(self, seconds: float, threshold: float,
+                 payload: Dict[str, object],
+                 outcome: Dict[str, object]) -> Path:
+        trace_ctx = payload.get("trace") or {}
+        trace_id = trace_ctx.get("trace_id") if isinstance(trace_ctx, dict) \
+            else None
+        events = collect_events([trace_id]) if trace_id else []
+        entry = {
+            "schema": SLOWLOG_SCHEMA,
+            "captured_at": time.time(),
+            "seconds": seconds,
+            "threshold": threshold,
+            "quantile": {
+                "q": self.quantile_q,
+                "value": self.tracker.quantile(self.quantile_q),
+                "window": len(self.tracker),
+            },
+            "payload": {k: v for k, v in payload.items() if k != "trace"},
+            "outcome": outcome,
+            "trace": events,
+            "metrics": REGISTRY.snapshot(),
+            "pid": os.getpid(),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        digest = str(payload.get("digest", "")) or "anon"
+        path = self.root / f"slow-{time.time_ns()}-{digest[:12]}.json"
+        path.write_text(json.dumps(entry, indent=2, sort_keys=True),
+                        encoding="utf-8")
+        self._entries_cell.inc()
+        for stale in sorted(self.root.glob("slow-*.json"))[:-self.max_entries]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
+        return path
+
+
+_SLOWLOG = _SlowLog()
+
+
+def _bootstrap_from_env() -> None:
+    raw = os.environ.get(_ENV, "").strip()
+    if not raw or raw == "0" or raw.lower() == "false":
+        return
+    root = "results/slowlog" if raw == "1" or raw.lower() == "true" else raw
+    _SLOWLOG.configure(root)
+
+
+_bootstrap_from_env()
+
+
+def configure_slowlog(root, **options) -> None:
+    """Enable capture under ``root`` (or disable with ``None``).
+
+    Options: ``window`` (quantile window size), ``quantile`` (the
+    tracked quantile, default p99), ``factor`` (slow = factor × p99),
+    ``min_seconds`` (floor below which nothing is slow), ``warmup``
+    (observations before the threshold arms) and ``max_entries``
+    (capture files kept, oldest evicted).  Exports ``REPRO_SLOWLOG``
+    so spawned pool children capture into the same directory.
+    """
+    _SLOWLOG.configure(root, **options)
+
+
+def slowlog_enabled() -> bool:
+    return _SLOWLOG.enabled
+
+
+def slowlog_root() -> Optional[Path]:
+    return _SLOWLOG.root
+
+
+def observe_solve(seconds: float, payload: Dict[str, object],
+                  outcome: Dict[str, object]) -> Optional[Path]:
+    """Feed one finished solve to the tracker; capture it if slow.
+
+    Called next to every ``repro_solver_seconds`` observation site.
+    Returns the capture path when an entry was persisted.
+    """
+    return _SLOWLOG.observe(seconds, payload, outcome)
+
+
+def slowlog_entries(root=None) -> List[Path]:
+    """Capture files under ``root`` (default: the configured root)."""
+    base = Path(root) if root is not None else _SLOWLOG.root
+    if base is None or not base.is_dir():
+        return []
+    return sorted(base.glob("slow-*.json"))
+
+
+def _outcome_digest(outcome: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "status": outcome.get("status"),
+        "period": outcome.get("period"),
+        "rounds": outcome.get("rounds"),
+        "engine_used": outcome.get("engine_used"),
+        "wall_time": outcome.get("wall_time"),
+    }
+
+
+def replay_entry(entry, *, trace: bool = True) -> Dict[str, object]:
+    """Re-solve a captured payload and diff it against the capture.
+
+    ``entry`` is a path to a slowlog file or an already-loaded entry
+    dict.  The replay is deterministic — same payload, same engines —
+    so an ``"OK"`` capture must reproduce λ* bit-identically
+    (``match`` is True iff ``status`` and ``period`` agree).  With
+    ``trace=True`` the replay runs under a throwaway trace so its
+    self-time table can be diffed against the captured spans.
+    """
+    from repro.kperiodic.kiter import solve_kiter_payload
+
+    if not isinstance(entry, dict):
+        entry = json.loads(Path(entry).read_text(encoding="utf-8"))
+    if entry.get("schema") != SLOWLOG_SCHEMA:
+        raise ValueError(
+            f"not a {SLOWLOG_SCHEMA} entry: {entry.get('schema')!r}")
+    payload = dict(entry.get("payload") or {})
+    payload.pop("trace", None)
+    replay_events: List[Dict] = []
+    if trace:
+        trace_id = new_trace_id()
+        payload["trace"] = {"trace_id": trace_id}
+        was_enabled = tracing_enabled()
+        if not was_enabled:
+            # Buffer-only tracing: events land in the ring buffer for
+            # the diff without leaving a file behind.
+            configure_tracing(os.devnull)
+        try:
+            outcome = solve_kiter_payload(payload)
+            replay_events = collect_events([trace_id], clear=True)
+        finally:
+            if not was_enabled:
+                configure_tracing(None)
+    else:
+        outcome = solve_kiter_payload(payload)
+    captured = entry.get("outcome") or {}
+    match = (captured.get("status") == outcome.get("status")
+             and captured.get("period") == outcome.get("period"))
+    REGISTRY.counter("repro_slowlog_replays_total").labels(
+        outcome="match" if match else "mismatch").inc()
+    return {
+        "match": match,
+        "captured": _outcome_digest(captured),
+        "replayed": _outcome_digest(outcome),
+        "captured_self_time": aggregate(entry.get("trace") or []),
+        "replayed_self_time": aggregate(replay_events),
+        "captured_seconds": entry.get("seconds"),
+        "threshold": entry.get("threshold"),
+    }
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)
+
+
+def render_replay(report: Dict[str, object]) -> str:
+    """Human-readable replay diff for ``repro replay``."""
+    lines: List[str] = []
+    verdict = "MATCH" if report["match"] else "MISMATCH"
+    lines.append(f"replay: {verdict}")
+    lines.append(f"  {'field':<14} {'captured':>22} {'replayed':>22}")
+    captured = report["captured"]
+    replayed = report["replayed"]
+    for field in ("status", "period", "rounds", "engine_used",
+                  "wall_time"):
+        lines.append(f"  {field:<14} {_fmt(captured.get(field)):>22} "
+                     f"{_fmt(replayed.get(field)):>22}")
+    by_name = {row["name"]: row
+               for row in report.get("captured_self_time") or []}
+    replay_rows = report.get("replayed_self_time") or []
+    if by_name or replay_rows:
+        lines.append("  self time (s):")
+        names = list(dict.fromkeys(
+            list(by_name) + [row["name"] for row in replay_rows]))
+        replay_by_name = {row["name"]: row for row in replay_rows}
+        for name in names:
+            was = by_name.get(name, {}).get("self")
+            now = replay_by_name.get(name, {}).get("self")
+            was_text = f"{was:.6f}" if was is not None else "—"
+            now_text = f"{now:.6f}" if now is not None else "—"
+            lines.append(f"  {name:<14} {was_text:>22} {now_text:>22}")
+    return "\n".join(lines) + "\n"

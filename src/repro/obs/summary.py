@@ -19,7 +19,8 @@ from collections import defaultdict
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
-__all__ = ["load_events", "build_trees", "aggregate", "render_summary"]
+__all__ = ["load_events", "build_trees", "aggregate", "render_summary",
+           "load_profiles", "merge_profiles", "render_profile"]
 
 
 def load_events(path) -> List[Dict]:
@@ -135,9 +136,18 @@ def _render_node(node: SpanNode, depth: int, lines: List[str],
 
 def render_summary(events: List[Dict], top: int = 10,
                    trace_id: Optional[str] = None,
-                   max_traces: int = 5, max_depth: int = 6) -> str:
-    """Human-readable trace report: per-trace trees + top-N table."""
+                   max_traces: int = 5, max_depth: int = 6,
+                   dropped: int = 0) -> str:
+    """Human-readable trace report: per-trace trees + top-N table.
+
+    ``dropped`` (from :func:`repro.obs.trace.trace_dropped_total`)
+    flags ring-buffer evictions so a truncated in-memory view is never
+    mistaken for the whole story.
+    """
     if not events:
+        if dropped:
+            return (f"no trace events (ring buffer dropped {dropped} "
+                    f"events)\n")
         return "no trace events\n"
     trees = build_trees(events)
     lines: List[str] = []
@@ -171,4 +181,73 @@ def render_summary(events: List[Dict], top: int = 10,
         lines.append(f"  {row['name']:<26} {int(row['count']):>7} "
                      f"{_fmt_seconds(row['total']):>10} "
                      f"{_fmt_seconds(row['self']):>10}")
+    if dropped:
+        lines.append("")
+        lines.append(f"warning: ring buffer dropped {dropped} events — "
+                     f"in-memory views are incomplete (the trace file, "
+                     f"if configured, has everything)")
+    return "\n".join(lines) + "\n"
+
+
+# -- sampling-profiler rendering -------------------------------------
+
+def load_profiles(path) -> List[Dict]:
+    """Parse a ``repro-profile/1`` JSONL file (one envelope per
+    process), skipping malformed lines."""
+    envelopes: List[Dict] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            envelope = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(envelope, dict) and \
+                envelope.get("schema") == "repro-profile/1":
+            envelopes.append(envelope)
+    return envelopes
+
+
+def merge_profiles(envelopes: Iterable[Dict]) -> Dict[str, Dict]:
+    """Fold per-process envelopes into one span → frame table."""
+    spans: Dict[str, Dict] = {}
+    for envelope in envelopes:
+        for name, data in (envelope.get("spans") or {}).items():
+            acc = spans.setdefault(name, {"samples": 0, "frames": {}})
+            acc["samples"] += int(data.get("samples", 0))
+            for key, self_n, cum_n in data.get("frames", []):
+                row = acc["frames"].setdefault(key, [0, 0])
+                row[0] += self_n
+                row[1] += cum_n
+    return spans
+
+
+def render_profile(envelopes: List[Dict], top: int = 15) -> str:
+    """Human-readable flame table for ``repro profile``."""
+    spans = merge_profiles(envelopes)
+    if not spans:
+        return "no profile samples\n"
+    intervals = [e.get("interval") for e in envelopes
+                 if isinstance(e.get("interval"), (int, float))]
+    interval = min(intervals) if intervals else 0.005
+    pids = {e.get("pid") for e in envelopes}
+    lines = [f"profile: {len(envelopes)} envelope(s) from "
+             f"{len(pids)} process(es), interval {interval * 1e3:.1f}ms"]
+    for name in sorted(spans, key=lambda n: -spans[n]["samples"]):
+        data = spans[name]
+        samples = data["samples"]
+        lines.append("")
+        lines.append(f"span {name}: {samples} samples "
+                     f"(~{_fmt_seconds(samples * interval)})")
+        lines.append(f"  {'frame':<44} {'self':>6} {'self%':>7} "
+                     f"{'cum':>6}")
+        rows = sorted(data["frames"].items(),
+                      key=lambda kv: (-kv[1][0], -kv[1][1], kv[0]))
+        for key, (self_n, cum_n) in rows[:top]:
+            share = 100.0 * self_n / samples if samples else 0.0
+            lines.append(f"  {key:<44} {self_n:>6} {share:>6.1f}% "
+                         f"{cum_n:>6}")
+        if len(rows) > top:
+            lines.append(f"  … {len(rows) - top} more frames")
     return "\n".join(lines) + "\n"

@@ -33,6 +33,9 @@ import uuid
 from collections import deque
 from typing import Dict, List, Optional
 
+from .metrics import REGISTRY
+from .profiler import _PROFILER
+
 __all__ = [
     "span",
     "emit_event",
@@ -42,6 +45,7 @@ __all__ = [
     "new_trace_id",
     "current_trace",
     "collect_events",
+    "trace_dropped_total",
 ]
 
 _ENV = "REPRO_TRACE"
@@ -62,13 +66,17 @@ def _new_span_id() -> str:
 class _Tracer:
     """Singleton owning the output file and the in-memory ring buffer."""
 
-    def __init__(self) -> None:
+    def __init__(self, buffer_size: int = 65536) -> None:
         self.enabled = False
         self.path: Optional[str] = None
         self._fh: Optional[io.TextIOBase] = None
         self._lock = threading.Lock()
         # ring buffer so workers can ship events to the coordinator
-        self.buffer: deque = deque(maxlen=65536)
+        self.buffer: deque = deque(maxlen=buffer_size)
+        #: events evicted by the full ring buffer (file output, when
+        #: configured, still receives every event).
+        self.dropped = 0
+        self._dropped_cell = REGISTRY.counter("repro_trace_dropped_total")
 
     def configure(self, path: Optional[str]) -> None:
         with self._lock:
@@ -99,6 +107,9 @@ class _Tracer:
     def emit(self, event: Dict[str, object]) -> None:
         if not self.enabled:
             return
+        if len(self.buffer) == self.buffer.maxlen:
+            self.dropped += 1
+            self._dropped_cell.inc()
         self.buffer.append(event)
         line = json.dumps(event, separators=(",", ":"))
         with self._lock:
@@ -174,6 +185,11 @@ def collect_events(trace_ids=None, clear: bool = False) -> List[Dict]:
     return _TRACER.collect(trace_ids, clear)
 
 
+def trace_dropped_total() -> int:
+    """Events evicted from the ring buffer since process start."""
+    return _TRACER.dropped
+
+
 def emit_event(name: str, *, trace_id: str, dur: float = 0.0,
                parent_id: Optional[str] = None,
                span_id: Optional[str] = None,
@@ -204,12 +220,13 @@ class Span:
     """An open span; emitted as one JSONL event on exit."""
 
     __slots__ = ("name", "trace_id", "span_id", "parent_id", "attrs",
-                 "_t0", "_wall", "_token")
+                 "_t0", "_wall", "_token", "_profiled")
 
     def __init__(self, name: str, trace: Optional[Dict[str, str]],
-                 attrs: Dict[str, object]) -> None:
+                 attrs: Dict[str, object], profiled: bool = False) -> None:
         self.name = name
         self.attrs = attrs
+        self._profiled = profiled
         state = _current.get()
         if trace is not None and trace.get("trace_id"):
             self.trace_id = str(trace["trace_id"])
@@ -231,12 +248,16 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._token = _current.set((self.trace_id, self.span_id))
+        if self._profiled:
+            _PROFILER.push(self.name)
         self._t0 = time.perf_counter()
         self._wall = time.time()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         dur = time.perf_counter() - self._t0
+        if self._profiled:
+            _PROFILER.pop(self.name)
         if self._token is not None:
             _current.reset(self._token)
         if exc_type is not None:
@@ -280,15 +301,48 @@ class _NoopSpan:
 _NOOP = _NoopSpan()
 
 
+class _ProfileOnlySpan:
+    """Profiler bookkeeping for a span site when tracing is off.
+
+    Emits nothing; its only job is to make ``span(..., profile=True)``
+    attribute stack samples even without a trace file configured.
+    """
+
+    __slots__ = ("name", "attrs")
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.attrs: Dict[str, object] = {}
+
+    def ctx(self) -> Dict[str, str]:
+        return {}
+
+    def __enter__(self) -> "_ProfileOnlySpan":
+        _PROFILER.push(self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _PROFILER.pop(self.name)
+
+
 def span(name: str, trace: Optional[Dict[str, str]] = None,
-         **attrs: object):
+         profile: bool = False, **attrs: object):
     """Open a span.  ``with span("kiter.round", K=4, engine="hybrid"):``
 
     ``trace`` adopts a propagated ``{"trace_id", "parent_id"}`` context
     (e.g. from a job payload); otherwise the span parents to the
     innermost open span in this execution context, or starts a fresh
-    trace.  Returns a shared no-op object when tracing is disabled.
+    trace.  ``profile=True`` additionally marks the span as a sampling
+    target while the profiler is enabled (see
+    :mod:`repro.obs.profiler`).  Returns a shared no-op object when
+    both tracing and profiling are disabled.
     """
+    profiled = profile and _PROFILER.enabled
     if not _TRACER.enabled:
+        if profiled:
+            return _ProfileOnlySpan(name)
         return _NOOP
-    return Span(name, trace, attrs)
+    return Span(name, trace, attrs, profiled=profiled)

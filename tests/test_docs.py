@@ -112,12 +112,28 @@ def test_observability_guide_covers_spans_and_surfaces():
             f"docs/observability.md span taxonomy must cover {name}"
         )
     for surface in ("REPRO_TRACE", "--trace", "repro trace",
-                    "/metrics", "/trace/", "repro-bench/1"):
-        assert surface in guide
+                    "/metrics", "/trace/", "repro-bench/1",
+                    "REPRO_PROFILE", "--profile", "repro profile",
+                    "repro-profile/1", "REPRO_SLOWLOG", "repro replay",
+                    "results/slowlog", "REPRO_BENCH_HISTORY",
+                    "repro bench-report", "bench_history.jsonl",
+                    "repro report", "/report"):
+        assert surface in guide, (
+            f"docs/observability.md must document {surface}"
+        )
     readme = (ROOT / "README.md").read_text()
     architecture = (ROOT / "ARCHITECTURE.md").read_text()
     assert "docs/observability.md" in readme
     assert "docs/observability.md" in architecture
+
+
+def test_cli_observatory_verbs_exist():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    text = parser.format_help()
+    for verb in ("profile", "replay", "bench-report", "report"):
+        assert verb in text
 
 
 def test_cli_distributed_verbs_exist():
